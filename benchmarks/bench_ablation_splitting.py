@@ -1,0 +1,101 @@
+"""Ablation: the split_and_shuffle preprocessing (§5.2.1).
+
+Two independent mechanisms, measured separately on skewed graphs:
+
+* **splitting** caps per-task work: without it, one map task walks a
+  hub's entire neighbor list serially, putting the hub's whole expansion
+  on one lane's critical path;
+* **shuffling** disperses a hub's sub-vertices: without it they sit in
+  one contiguous key run, which Block binding hands to one lane —
+  splitting alone doesn't help if all the pieces land together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import PageRankApp
+from repro.graph import CSRGraph, rmat
+from repro.graph.splitting import split_and_shuffle
+from repro.harness import series_table
+from repro.harness.runner import BENCH_BLOCK_SIZE, bench_config
+from repro.udweave import UpDownRuntime
+
+from conftest import run_once
+
+NODES = 8
+
+
+def _run_pr(graph, max_degree=None, split=None):
+    rt = UpDownRuntime(bench_config(NODES))
+    app = PageRankApp(
+        rt,
+        graph,
+        max_degree=max_degree or 64,
+        block_size=BENCH_BLOCK_SIZE,
+        split=split,
+    )
+    res = app.run(max_events=60_000_000)
+    return res.elapsed_seconds, rt.sim.stats.load_imbalance()
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_split_cap_bounds_hub_serialization(benchmark, save_results):
+    """Max-degree sweep on a hub-dominated graph: tighter caps shorten
+    the critical path until overhead wins (the artifact tunes 512 for
+    PR).  The directed star isolates the effect — all edge work is the
+    hub's, so unsplit it serializes on one lane."""
+    n = 8192
+    graph = CSRGraph.from_edges(
+        [(0, i) for i in range(1, n)], n=n  # directed: hub out-edges only
+    )
+
+    def run_sweep():
+        return {
+            m: _run_pr(graph, max_degree=m)[0]
+            for m in (8192, 512, 64, 16)
+        }
+
+    times = run_once(benchmark, run_sweep)
+    rows = [(m, times[m] * 1e6, times[8192] / times[m]) for m in times]
+    text = series_table(
+        f"Ablation — split max degree, one degree-{n - 1} hub "
+        f"({NODES} nodes)",
+        rows,
+        ["max_degree", "time_us", "speedup_vs_unsplit"],
+    )
+    gain = times[8192] / min(times.values())
+    text += f"\n\nbest split cap is {gain:.1f}x faster than unsplit"
+    benchmark.extra_info["split_gain"] = gain
+    assert gain > 1.5
+    save_results("ablation_splitting", text)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_shuffle_disperses_hub_subvertices(benchmark, save_results):
+    """Same split cap, shuffle on vs off: the unshuffled hub pieces land
+    contiguously and Block binding serializes them on few lanes."""
+    graph = rmat(10, seed=48)
+
+    def run_pair():
+        out = {}
+        for shuffle in (True, False):
+            split = split_and_shuffle(graph, 32, seed=0, shuffle=shuffle)
+            out[shuffle] = _run_pr(graph, split=split)
+        return out
+
+    results = run_once(benchmark, run_pair)
+    (t_on, imb_on), (t_off, imb_off) = results[True], results[False]
+    ratio = t_off / t_on
+    text = (
+        f"Ablation — sub-vertex shuffle (PR, rmat s10, cap 32, "
+        f"{NODES} nodes):\n"
+        f"  shuffled:   {t_on * 1e6:8.2f} us  imbalance {imb_on:5.2f}x\n"
+        f"  unshuffled: {t_off * 1e6:8.2f} us  imbalance {imb_off:5.2f}x\n"
+        f"  -> shuffle {ratio:.2f}x faster (why the tool is called "
+        "split_AND_SHUFFLE)"
+    )
+    benchmark.extra_info["shuffle_gain"] = ratio
+    assert ratio > 1.1
+    assert imb_off > imb_on
+    save_results("ablation_shuffle", text)

@@ -1,0 +1,110 @@
+"""Figure 10 / Table 11: Ingestion (TFORM + graph construction) scaling.
+
+The paper streams CSV at four dataset sizes (0.01x .. 2x) and shows:
+larger inputs sustain scaling to more nodes; the smallest input saturates
+almost immediately (7.5x at 2 nodes, flat after).  We reproduce the series
+with synthetic WF2-style record streams whose sizes keep the same ratios.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import make_workload
+from repro.harness import run_ingestion, series_table, speedups, sweep
+
+from conftest import run_once
+
+#: artifact Table 11 (speedups; blank cells = not run in the paper either)
+PAPER_TABLE11 = {
+    "data 0.01x": {1: 1.00, 2: 7.52, 4: 7.47, 8: 7.49},
+    "data 0.1x": {1: 1.00, 2: 16.27, 4: 31.00, 8: 57.20, 16: 70.23, 32: 72.52},
+    "data": {1: 1.00, 2: 4.65, 4: 23.99, 8: 68.51, 16: 125.69, 32: 219.94,
+             64: 344.23, 128: 619.65, 256: 657.39},
+    "data 2x": {1: 1.00, 2: 1.57, 4: 7.43, 8: 43.07, 16: 133.13, 32: 243.78,
+                64: 431.71, 128: 679.32, 256: 1178.20},
+}
+
+#: record counts per multiplier (paper ratios 0.01 : 0.1 : 1 : 2) and the
+#: node subset each size is swept over (the paper stops small inputs early)
+SIZES = {
+    "data 0.01x": (160, (1, 2, 4, 8)),
+    "data 0.1x": (1600, (1, 2, 4, 8, 16, 32)),
+    "data": (8000, (1, 2, 4, 8, 16, 32, 64, 128, 256)),
+    "data 2x": (16000, (1, 2, 4, 8, 16, 32, 64, 128, 256)),
+}
+
+#: parse granularity: small blocks keep block-parallelism ahead of the
+#: lane count at the largest configurations
+BLOCK_WORDS = 16
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_ingestion_scaling(benchmark, save_results):
+    workloads = {
+        name: make_workload(n, seed=11) for name, (n, _) in SIZES.items()
+    }
+
+    def run_sweep():
+        series = {}
+        for name, (n, nodes) in SIZES.items():
+            records = sweep(
+                run_ingestion, nodes, records=workloads[name],
+                block_words=BLOCK_WORDS,
+            )
+            for rec in records:
+                assert rec.extra["records"] == len(workloads[name])
+            series[name] = speedups(records)
+        return series
+
+    series = run_once(benchmark, run_sweep)
+
+    rows = []
+    all_nodes = sorted({n for s in series.values() for n in s})
+    for n in all_nodes:
+        rows.append(
+            (n, *(series[name].get(n, float("nan")) for name in SIZES))
+        )
+    text = series_table(
+        "Figure 10 / Table 11 — Ingestion speedup vs nodes",
+        rows,
+        ["nodes", *SIZES],
+    )
+    lines = [text, ""]
+    # qualitative gates matching the paper's shape:
+    # 1) the smallest input saturates early (no real gain past 2 nodes)
+    small = series["data 0.01x"]
+    assert max(small.values()) < 4.0
+    # 2) larger inputs scale further (the paper's 7.5 < 72 < 657 < 1178)
+    peaks = {name: max(s.values()) for name, s in series.items()}
+    assert peaks["data 2x"] >= peaks["data"] >= peaks["data 0.01x"]
+    assert peaks["data 2x"] > 5.0
+    lines.append(f"peaks: { {k: round(v, 1) for k, v in peaks.items()} }")
+    lines.append(
+        "paper peaks: 7.5x (0.01x), 72.5x (0.1x), 657x (1x), 1178x (2x)"
+    )
+    for name, peak in peaks.items():
+        benchmark.extra_info[f"{name}_peak"] = peak
+    save_results("fig10_ingestion", "\n".join(lines))
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_throughput_metric(benchmark, save_results):
+    """The paper's headline: records/s (76.8 TB/s at 256 nodes on the real
+    machine).  We report our simulated records/s at the largest config to
+    document the scale gap."""
+    records = make_workload(8000, seed=11)
+
+    def run_one():
+        return run_ingestion(records, nodes=64, block_words=BLOCK_WORDS)
+
+    rec = run_once(benchmark, run_one)
+    rps = rec.metric
+    benchmark.extra_info["records_per_second"] = rps
+    text = (
+        "Ingestion throughput at 64 simulated nodes:\n"
+        f"  {rps:.3e} records/s = {rps * 64 / 1e12:.4f} TB/s "
+        "(paper: 1200 GigaRecords/s = 76.8 TB/s at 256 full-size nodes)"
+    )
+    assert rps > 0
+    save_results("fig10_throughput", text)

@@ -1,0 +1,90 @@
+"""Figure 12: impact of NRnodes in DRAMmalloc on PR and BFS.
+
+"Only a single number was changed in a DRAMmalloc() call to create each
+layout!" (§5.3).  Fixed compute nodes; the graph structure's memory
+striping sweeps 2 -> 64 nodes (16-fold bandwidth in the paper, which sees
+up to 4x PR improvement with tapering gains, and the same trend, less
+pronounced, for BFS's frontier)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import load_dataset
+from repro.harness import run_bfs, run_pagerank, series_table
+
+from conftest import run_once
+
+COMPUTE_NODES = 64
+MEM_NODE_SWEEP = (2, 4, 8, 16, 32, 64)
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_pagerank_placement(benchmark, save_results):
+    graph = load_dataset("rmat-s12")
+
+    def run_sweep():
+        return {
+            m: run_pagerank(
+                graph, nodes=COMPUTE_NODES, max_degree=64, mem_nodes=m
+            ).seconds
+            for m in MEM_NODE_SWEEP
+        }
+
+    times = run_once(benchmark, run_sweep)
+
+    base = times[MEM_NODE_SWEEP[0]]
+    rows = [(m, times[m] * 1e6, base / times[m]) for m in MEM_NODE_SWEEP]
+    text = series_table(
+        f"Figure 12 — PR: graph-structure NRnodes sweep "
+        f"({COMPUTE_NODES} compute nodes, rmat-s12)",
+        rows,
+        ["mem_nodes", "time_us", "speedup_vs_2"],
+    )
+    gain = base / times[MEM_NODE_SWEEP[-1]]
+    benchmark.extra_info["pr_placement_gain"] = gain
+    lines = [
+        text,
+        "",
+        f"measured gain 2->64 memory nodes: {gain:.2f}x "
+        "(paper: up to ~4x for s28, tapering as the memory bottleneck eases)",
+    ]
+    # the paper's two claims: striping helps, and the benefit tapers
+    assert gain > 1.3
+    early = times[2] / times[8]
+    late = times[16] / times[64]
+    lines.append(f"early gain (2->8): {early:.2f}x, late gain (16->64): {late:.2f}x")
+    assert early > late, "benefits must taper off"
+    save_results("fig12_pagerank", "\n".join(lines))
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_bfs_placement(benchmark, save_results):
+    graph = load_dataset("rmat-s12")
+
+    def run_sweep():
+        return {
+            m: run_bfs(
+                graph, nodes=COMPUTE_NODES, max_degree=128, mem_nodes=m
+            ).seconds
+            for m in MEM_NODE_SWEEP
+        }
+
+    times = run_once(benchmark, run_sweep)
+    base = times[MEM_NODE_SWEEP[0]]
+    rows = [(m, times[m] * 1e6, base / times[m]) for m in MEM_NODE_SWEEP]
+    text = series_table(
+        f"Figure 12 — BFS: NRnodes sweep ({COMPUTE_NODES} compute nodes)",
+        rows,
+        ["mem_nodes", "time_us", "speedup_vs_2"],
+    )
+    gain = base / times[MEM_NODE_SWEEP[-1]]
+    benchmark.extra_info["bfs_placement_gain"] = gain
+    lines = [
+        text,
+        "",
+        f"measured gain 2->64: {gain:.2f}x (paper: same trend as PR, "
+        "less pronounced)",
+    ]
+    assert gain > 1.1
+    save_results("fig12_bfs", "\n".join(lines))

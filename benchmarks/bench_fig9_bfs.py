@@ -1,0 +1,80 @@
+"""Figure 9 (center) / Table 9: BFS strong scaling, 1 -> 256 nodes.
+
+Table 9's key qualitative features: RMAT s28 scales well (178x at 256);
+com-orkut saturates around 16x; soc-livej saturates hard below 6x (too
+small for the machine).  The stand-ins reproduce the *ordering*: the
+biggest graph scales furthest and the smallest saturates first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import load_dataset
+from repro.harness import (
+    PR_BFS_NODES,
+    run_bfs,
+    shape_agreement,
+    shape_summary,
+    speedup_table,
+    speedups,
+    sweep,
+)
+
+from conftest import run_once
+
+#: artifact Table 9
+PAPER_TABLE9 = {
+    "com-orkut": {1: 1.0, 2: 2.6, 4: 4.5, 8: 7.0, 16: 8.9, 32: 12.3,
+                  64: 13.7, 128: 15.5, 256: 16.6},
+    "soc-livej": {1: 1.0, 2: 2.0, 4: 2.9, 8: 4.1, 16: 4.9, 32: 5.9,
+                  64: 5.5, 128: 5.7, 256: 5.7},
+    "rmat-s12": {1: 1.0, 2: 2.3, 4: 3.9, 8: 7.4, 16: 17.5, 32: 31.3,
+                 64: 59.7, 128: 112.8, 256: 178.7},  # paper: RMAT s28
+}
+
+GRAPHS = ("com-orkut", "soc-livej", "rmat-s12")
+
+#: BFS splits to max degree 4096 in the paper; scaled with the graphs
+SPLIT_MAX_DEGREE = 128
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_bfs_strong_scaling(benchmark, save_results):
+    def run_sweep():
+        series = {}
+        for name in GRAPHS:
+            graph = load_dataset(name)
+            records = sweep(
+                run_bfs, PR_BFS_NODES, graph=graph,
+                max_degree=SPLIT_MAX_DEGREE,
+            )
+            series[name] = speedups(records)
+        return series
+
+    series = run_once(benchmark, run_sweep)
+
+    lines = [
+        speedup_table(
+            "Figure 9 (center) / Table 9 — BFS strong scaling "
+            "(speedup over 1 node)",
+            PR_BFS_NODES,
+            series,
+            reported=PAPER_TABLE9,
+        ),
+        "",
+    ]
+    for name in GRAPHS:
+        agreement = shape_agreement(series[name], PAPER_TABLE9[name])
+        lines.append(
+            shape_summary(name, series[name], PAPER_TABLE9[name], agreement)
+        )
+        benchmark.extra_info[f"{name}_peak_speedup"] = max(
+            series[name].values()
+        )
+        assert agreement > 0.5, name
+    # ordering claim: the big RMAT scales furthest, like the paper
+    peaks = {n: max(series[n].values()) for n in GRAPHS}
+    lines.append(f"peak ordering: {sorted(peaks, key=peaks.get)}")
+    assert peaks["rmat-s12"] == max(peaks.values())
+    save_results("fig9_bfs", "\n".join(lines))

@@ -1,0 +1,82 @@
+"""Figure 9 (left) / Table 8: PageRank strong scaling, 1 -> 256 nodes.
+
+The artifact's Table 8 reports speedups for Erdős–Rényi, Forest Fire,
+Twitter, and RMAT s28.  We sweep the same node counts on the scaled
+stand-ins (see repro.graph.datasets) and print measured vs paper speedups
+plus the rank-agreement shape metric.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import load_dataset
+from repro.harness import (
+    PR_BFS_NODES,
+    run_pagerank,
+    shape_agreement,
+    shape_summary,
+    speedup_table,
+    speedups,
+    sweep,
+)
+
+from conftest import run_once
+
+#: artifact Table 8 (paper-reported speedups)
+PAPER_TABLE8 = {
+    "erdos-renyi": {1: 1.00, 2: 2.03, 4: 2.17, 8: 2.56, 16: 3.19, 32: 14.19,
+                    64: 45.01, 128: 101.60, 256: 191.74},
+    "forest-fire": {1: 1.00, 2: 1.99, 4: 2.20, 8: 2.76, 16: 5.25, 32: 14.38,
+                    64: 30.48, 128: 54.13, 256: 91.84},
+    "twitter": {1: 1.00, 2: 2.18, 4: 2.03, 8: 2.40, 16: 8.63, 32: 20.74,
+                64: 42.02, 128: 75.42, 256: 131.37},
+    "rmat-s12": {1: 1.00, 2: 2.21, 4: 3.39, 8: 4.03, 16: 5.36, 32: 19.29,
+                 64: 50.83, 128: 97.46, 256: 178.21},  # paper: RMAT s28
+}
+
+GRAPHS = ("erdos-renyi", "forest-fire", "twitter", "rmat-s12")
+
+#: PR splits to max degree 512 in the paper; scaled with the graphs
+SPLIT_MAX_DEGREE = 64
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_pagerank_strong_scaling(benchmark, save_results):
+    def run_sweep():
+        series = {}
+        for name in GRAPHS:
+            graph = load_dataset(name)
+            records = sweep(
+                run_pagerank,
+                PR_BFS_NODES,
+                graph=graph,
+                max_degree=SPLIT_MAX_DEGREE,
+            )
+            series[name] = speedups(records)
+        return series
+
+    series = run_once(benchmark, run_sweep)
+
+    lines = [
+        speedup_table(
+            "Figure 9 (left) / Table 8 — PageRank strong scaling "
+            "(speedup over 1 node)",
+            PR_BFS_NODES,
+            series,
+            reported=PAPER_TABLE8,
+        ),
+        "",
+    ]
+    for name in GRAPHS:
+        agreement = shape_agreement(series[name], PAPER_TABLE8[name])
+        lines.append(shape_summary(name, series[name], PAPER_TABLE8[name],
+                                   agreement))
+        benchmark.extra_info[f"{name}_peak_speedup"] = max(
+            series[name].values()
+        )
+        benchmark.extra_info[f"{name}_shape_agreement"] = agreement
+        # qualitative reproduction gates: real scaling, positive shape match
+        assert max(series[name].values()) > 4.0, name
+        assert agreement > 0.5, name
+    save_results("fig9_pagerank", "\n".join(lines))

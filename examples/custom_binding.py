@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Custom computation binding + data placement on a skewed workload.
+
+Demonstrates dimension 2 and 3 of Figure 1 under skew:
+
+* a *skewed* key space (zipf-like work per key) runs under Block vs PBMW
+  map bindings — PBMW's master-worker stealing wins when early blocks are
+  heavy (§4.3.3's motivation);
+* the output region is laid out with two different DRAMmalloc calls and
+  the simulator reports where the bytes landed.
+
+Run:  python examples/custom_binding.py
+"""
+
+import numpy as np
+
+from repro.kvmsr import (
+    BlockBinding,
+    KVMSRJob,
+    MapTask,
+    PBMWBinding,
+    RangeInput,
+    job_of,
+)
+from repro.machine import bench_machine
+from repro.udweave import UpDownRuntime
+
+N_KEYS = 512
+
+
+class SkewedWork(MapTask):
+    """A contiguous run of heavy keys (a degree-sorted vertex array's hub
+    block).  Block binding hands the whole heavy prefix to the first lanes;
+    PBMW's smaller initial blocks + work stealing spread it (§4.3.3)."""
+
+    def kv_map(self, ctx, key):
+        ctx.work(5000 if key < 64 else 5)
+        self.kv_map_return(ctx)
+
+
+def run(binding, label):
+    rt = UpDownRuntime(bench_machine(nodes=8))
+    job = KVMSRJob(
+        rt, SkewedWork, RangeInput(N_KEYS), map_binding=binding, name=label
+    )
+    job.launch()
+    stats = rt.run()
+    print(
+        f"  {label:22} {rt.elapsed_seconds * 1e6:8.2f} us   "
+        f"load imbalance {stats.load_imbalance():5.2f}x"
+    )
+    return rt.elapsed_seconds
+
+
+def placement_demo():
+    rt = UpDownRuntime(bench_machine(nodes=8))
+    gm = rt.gmem
+    cyclic = gm.dram_malloc(64 * 4096, 0, 8, 4096, name="cyclic")
+    onenode = gm.dram_malloc(64 * 4096, 0, 1, 4096, name="one-node")
+    for name, region in (("cyclic over 8 nodes", cyclic),
+                         ("all on node 0", onenode)):
+        per_node = [region.descriptor.bytes_on_node(n) for n in range(8)]
+        print(f"  {name:22} bytes per node: {per_node}")
+
+
+if __name__ == "__main__":
+    print("skewed work under different computation bindings:")
+    t_block = run(BlockBinding(), "Block")
+    t_pbmw = run(PBMWBinding(initial_fraction=0.25, chunk_size=4), "PBMW")
+    print(f"  -> PBMW is {t_block / t_pbmw:.2f}x faster under this skew")
+
+    print("\ndata placement (same size, different DRAMmalloc parameters):")
+    placement_demo()

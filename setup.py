@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP
+660 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517`` take the ``setup.py develop`` path.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""repro: a functional reproduction of KVMSR+UDWeave on the UpDown graph
+supercomputer (Fell et al., SC Workshops '25).
+
+Layers, bottom up:
+
+* :mod:`repro.machine` — the UpDown machine as a cost-modeled DES
+  (stands in for the authors' Fastsim);
+* :mod:`repro.udweave` — the UDWeave programming model (threads, events,
+  event words, continuations, split-phase DRAM);
+* :mod:`repro.memmodel` — the global address space (swizzle translation
+  descriptors, DRAMmalloc, spMalloc);
+* :mod:`repro.kvmsr` — the KVMSR engine (Block/Hash/PBMW binding,
+  termination detection, do_all, combining cache);
+* :mod:`repro.datastruct` — scalable data abstractions (SHT, parallel
+  graph, MPMC queue, SHMEM, global sort, histogram);
+* :mod:`repro.graph` — host-side graph substrate (CSR, RMAT/ER/FF
+  generators, vertex splitting, binary IO, dataset stand-ins);
+* :mod:`repro.apps` — the paper's applications (PR, BFS, TC, ingestion,
+  partial match, and the Table 3 extras);
+* :mod:`repro.baselines` — CPU validation oracles;
+* :mod:`repro.harness` — experiment runners and paper-style reports.
+
+Quick start::
+
+    from repro.machine import bench_machine
+    from repro.udweave import UpDownRuntime
+    from repro.apps import PageRankApp
+    from repro.graph import rmat
+
+    rt = UpDownRuntime(bench_machine(nodes=4))
+    result = PageRankApp(rt, rmat(8, seed=48), max_degree=64).run()
+    print(result.ranks[:5], result.giga_updates_per_second)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,74 @@
+"""UpDown applications written against KVMSR+UDWeave (paper §4, Table 3)."""
+
+from .bfs import BFSApp, BFSResult
+from .bucket_sort import BucketSortApp
+from .compaction import CompactionApp, CompactionResult
+from .components import (
+    ComponentsResult,
+    ConnectedComponentsApp,
+    reference_components,
+)
+from .exact_match import ExactMatchApp, ExactMatchResult
+from .gnn import GNNApp, GNNResult, reference_features, reference_integrate
+from .ingestion import IngestionApp, IngestionResult
+from .ktruss import KTrussApp, KTrussResult, reference_ktruss
+from .multihop import MultihopApp, MultihopResult, reference_multihop
+from .pagerank import PageRankApp, PageRankResult
+from .pagerank_pull import PullPageRankApp, PullPageRankResult
+from .partial_match import (
+    PartialMatchApp,
+    PartialMatchResult,
+    Pattern,
+    reference_matches,
+)
+from .sequences import ConstructSequencesApp, SequencesResult, reference_sequences
+from .sssp import SSSPApp, SSSPResult, default_weights, reference_sssp
+from .tform import Record, Transducer, make_workload, parse_all, workload_csv
+from .triangle import TriangleCountApp, TriangleCountResult
+
+__all__ = [
+    "PageRankApp",
+    "PageRankResult",
+    "PullPageRankApp",
+    "PullPageRankResult",
+    "BFSApp",
+    "BFSResult",
+    "TriangleCountApp",
+    "TriangleCountResult",
+    "IngestionApp",
+    "IngestionResult",
+    "KTrussApp",
+    "KTrussResult",
+    "reference_ktruss",
+    "MultihopApp",
+    "MultihopResult",
+    "reference_multihop",
+    "PartialMatchApp",
+    "PartialMatchResult",
+    "Pattern",
+    "reference_matches",
+    "Record",
+    "Transducer",
+    "make_workload",
+    "parse_all",
+    "workload_csv",
+    "GNNApp",
+    "GNNResult",
+    "reference_features",
+    "reference_integrate",
+    "ExactMatchApp",
+    "ExactMatchResult",
+    "CompactionApp",
+    "CompactionResult",
+    "ConnectedComponentsApp",
+    "ComponentsResult",
+    "reference_components",
+    "ConstructSequencesApp",
+    "SequencesResult",
+    "reference_sequences",
+    "BucketSortApp",
+    "SSSPApp",
+    "SSSPResult",
+    "default_weights",
+    "reference_sssp",
+]

@@ -1,0 +1,34 @@
+"""Bucket Sort — Table 3 ("N" for UDWeave, "Y" for KVMSR: kvmap only).
+
+The application-level entry point over the scalable global sort
+(:mod:`repro.datastruct.sort`): Table 3's bucket sort is the pure-KVMSR
+kernel, so this wrapper only chooses a machine-appropriate bucket count
+and exposes the result in application terms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.datastruct.sort import GlobalSortApp, SortResult
+from repro.udweave import UpDownRuntime
+
+
+class BucketSortApp:
+    """Sort an int64 array with one bucket per target lane."""
+
+    def __init__(
+        self,
+        runtime: UpDownRuntime,
+        values: np.ndarray,
+        buckets_per_lane: int = 1,
+    ) -> None:
+        if buckets_per_lane < 1:
+            raise ValueError("need at least one bucket per lane")
+        nbuckets = max(4, runtime.config.total_lanes * buckets_per_lane)
+        self._sorter = GlobalSortApp(runtime, values, nbuckets=nbuckets)
+
+    def run(self, max_events: Optional[int] = None) -> SortResult:
+        return self._sorter.run(max_events=max_events)

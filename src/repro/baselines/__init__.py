@@ -1,0 +1,21 @@
+"""CPU reference implementations: validation oracles and comparison points.
+
+The paper compares UpDown against Perlmutter / EOS results; those machines
+are unavailable, so the baselines here serve (a) as correctness oracles
+for every UpDown application and (b) as the host-CPU reference point the
+benchmark reports print alongside simulated-machine numbers.
+"""
+
+from .bfs import bfs, traversed_edges, validate_parents
+from .pagerank import pagerank, pagerank_converged
+from .triangle import triangle_count, triangle_count_intersect
+
+__all__ = [
+    "pagerank",
+    "pagerank_converged",
+    "bfs",
+    "traversed_edges",
+    "validate_parents",
+    "triangle_count",
+    "triangle_count_intersect",
+]

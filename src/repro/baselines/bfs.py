@@ -1,0 +1,65 @@
+"""Reference BFS — the validation oracle for the UpDown push BFS."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+def bfs(graph: CSRGraph, root: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Distances and parents from ``root``; unreachable = -1.
+
+    Parents are *a* valid BFS tree (the UpDown run may pick different
+    parents for equal-distance ties; tests compare distances exactly and
+    check the UpDown parents form a valid tree instead).
+    """
+    n = graph.n
+    if not (0 <= root < n):
+        raise ValueError(f"root {root} out of range for n={n}")
+    dist = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    dist[root] = 0
+    parent[root] = root
+    q = deque([root])
+    while q:
+        v = q.popleft()
+        for u in graph.out_neighbors(v):
+            u = int(u)
+            if dist[u] < 0:
+                dist[u] = dist[v] + 1
+                parent[u] = v
+                q.append(u)
+    return dist, parent
+
+
+def traversed_edges(graph: CSRGraph, dist: np.ndarray) -> int:
+    """Edges examined by a push BFS: out-degrees of all reached vertices
+    (the artifact's "traversed edges" counter)."""
+    reached = dist >= 0
+    return int(graph.degrees[reached].sum())
+
+
+def validate_parents(
+    graph: CSRGraph, root: int, dist: np.ndarray, parent: np.ndarray
+) -> bool:
+    """Check ``parent`` is a valid BFS tree for ``dist``."""
+    n = graph.n
+    for v in range(n):
+        if dist[v] < 0:
+            if parent[v] != -1:
+                return False
+            continue
+        if v == root:
+            if parent[v] != root or dist[v] != 0:
+                return False
+            continue
+        p = int(parent[v])
+        if not (0 <= p < n) or dist[p] != dist[v] - 1:
+            return False
+        if v not in set(map(int, graph.out_neighbors(p))):
+            return False
+    return True

@@ -1,0 +1,29 @@
+"""Scalable data abstractions over shared global state (paper §2.2, Table 3).
+
+The paper's examples of "shared global data structures … from mutable
+arrays to scalable data abstractions": the scalable hash table, the
+parallel graph abstraction built on two SHTs, MPMC queues, SHMEM-style
+symmetric regions, the global sort, and histogram bins.
+"""
+
+from .histogram import HistogramApp, HistogramResult
+from .pgraph import ParallelGraph
+from .queues import MPMCQueue
+from .sht import ScalableHashTable, SHTError
+from .shmem import SymmetricRegion, barrier, broadcast, sum_reduce
+from .sort import GlobalSortApp, SortResult
+
+__all__ = [
+    "ScalableHashTable",
+    "SHTError",
+    "ParallelGraph",
+    "MPMCQueue",
+    "SymmetricRegion",
+    "sum_reduce",
+    "broadcast",
+    "barrier",
+    "GlobalSortApp",
+    "SortResult",
+    "HistogramApp",
+    "HistogramResult",
+]

@@ -1,0 +1,48 @@
+"""Host-side graph substrate: CSR structures, generators, preprocessing."""
+
+from .csr import CSRGraph, GraphError
+from .datasets import dataset_names, dataset_spec, load_dataset
+from .generators import (
+    complete_graph,
+    erdos_renyi,
+    forest_fire,
+    grid_graph,
+    path_graph,
+    rmat,
+    rmat_edges,
+    star_graph,
+    watts_strogatz,
+)
+from .io import (
+    VERTEX_STRIDE_WORDS,
+    csr_from_records,
+    load_graph,
+    save_graph,
+    vertex_records,
+)
+from .splitting import SplitGraph, split_and_shuffle, validate_split
+
+__all__ = [
+    "CSRGraph",
+    "GraphError",
+    "rmat",
+    "rmat_edges",
+    "erdos_renyi",
+    "forest_fire",
+    "path_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "watts_strogatz",
+    "SplitGraph",
+    "split_and_shuffle",
+    "validate_split",
+    "save_graph",
+    "load_graph",
+    "vertex_records",
+    "csr_from_records",
+    "VERTEX_STRIDE_WORDS",
+    "load_dataset",
+    "dataset_names",
+    "dataset_spec",
+]

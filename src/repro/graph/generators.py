@@ -1,0 +1,170 @@
+"""Graph generators: RMAT, Erdős–Rényi, Forest Fire (paper §5.2 inputs).
+
+The RMAT generator follows the artifact appendix: parameters
+``a=0.57, b=0.19, c=0.19`` (d = 0.05) with edge factor 16 — the Graph500 /
+Graph Challenge standard.  Generation is fully vectorized (one NumPy pass
+per scale bit) per the HPC-Python guides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph, GraphError
+
+#: Artifact appendix RMAT parameters.
+RMAT_A, RMAT_B, RMAT_C = 0.57, 0.19, 0.19
+DEFAULT_EDGE_FACTOR = 16
+
+
+def rmat_edges(
+    scale: int,
+    edge_factor: int = DEFAULT_EDGE_FACTOR,
+    a: float = RMAT_A,
+    b: float = RMAT_B,
+    c: float = RMAT_C,
+    seed: int = 0,
+) -> np.ndarray:
+    """Raw RMAT edge list: ``2**scale`` vertices, ``edge_factor * 2**scale``
+    edges (duplicates and self-loops included, as a real generator emits)."""
+    if scale < 1:
+        raise GraphError("RMAT scale must be >= 1")
+    d = 1.0 - a - b - c
+    if d < -1e-9 or min(a, b, c) < 0:
+        raise GraphError("RMAT probabilities must be non-negative and sum <= 1")
+    n_edges = edge_factor << scale
+    rng = np.random.default_rng(seed)
+    src = np.zeros(n_edges, dtype=np.int64)
+    dst = np.zeros(n_edges, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(n_edges)
+        # quadrant probabilities: a (0,0), b (0,1), c (1,0), d (1,1)
+        go_right = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        go_down = r >= a + b
+        src = (src << 1) | go_down
+        dst = (dst << 1) | go_right
+    return np.column_stack([src, dst])
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = DEFAULT_EDGE_FACTOR,
+    seed: int = 0,
+    symmetrize: bool = True,
+    a: float = RMAT_A,
+    b: float = RMAT_B,
+    c: float = RMAT_C,
+) -> CSRGraph:
+    """An RMAT graph, deduplicated and (by default) symmetrized."""
+    edges = rmat_edges(scale, edge_factor, a, b, c, seed)
+    return CSRGraph.from_edges(edges, n=1 << scale, symmetrize=symmetrize)
+
+
+def erdos_renyi(
+    n: int, avg_degree: float = 16.0, seed: int = 0, symmetrize: bool = True
+) -> CSRGraph:
+    """G(n, m)-style Erdős–Rényi graph with ``n * avg_degree / 2``
+    undirected edges (the paper's Scale-28 ER analog, scaled down)."""
+    if n < 2:
+        raise GraphError("ER graph needs at least two vertices")
+    m = int(n * avg_degree / 2)
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m, dtype=np.int64)
+    dst = rng.integers(0, n, size=m, dtype=np.int64)
+    return CSRGraph.from_edges(
+        np.column_stack([src, dst]), n=n, symmetrize=symmetrize
+    )
+
+
+def forest_fire(
+    n: int, forward_prob: float = 0.35, seed: int = 0
+) -> CSRGraph:
+    """Forest Fire model (Leskovec et al.): new vertices "burn" through
+    the existing graph, producing heavy-tailed degrees and communities.
+    Sequential by nature; use moderate ``n``."""
+    if n < 2:
+        raise GraphError("Forest Fire graph needs at least two vertices")
+    if not (0.0 <= forward_prob < 1.0):
+        raise GraphError("forward probability must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    adj: list[set[int]] = [set() for _ in range(n)]
+    adj[1].add(0)
+    adj[0].add(1)
+    for v in range(2, n):
+        ambassador = int(rng.integers(0, v))
+        burned = {ambassador}
+        frontier = [ambassador]
+        # geometric "fire spread": expected burn count 1/(1-p) per hop
+        while frontier:
+            w = frontier.pop()
+            links = [u for u in adj[w] if u not in burned]
+            if not links:
+                continue
+            k = rng.geometric(1.0 - forward_prob) - 1
+            if k <= 0:
+                continue
+            rng.shuffle(links)
+            for u in links[:k]:
+                burned.add(u)
+                frontier.append(u)
+        for u in burned:
+            adj[v].add(u)
+            adj[u].add(v)
+    edges = [(v, u) for v in range(n) for u in adj[v]]
+    return CSRGraph.from_edges(edges, n=n, symmetrize=False)
+
+
+def path_graph(n: int) -> CSRGraph:
+    """A simple undirected path — deterministic corner-case fodder."""
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return CSRGraph.from_edges(edges, n=n, symmetrize=True)
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """K_n: every vertex adjacent to every other (n(n-1) directed edges)."""
+    edges = [(i, j) for i in range(n) for j in range(n) if i != j]
+    return CSRGraph.from_edges(edges, n=n)
+
+
+def star_graph(n: int) -> CSRGraph:
+    """One hub, ``n-1`` spokes — maximum skew, exercises vertex splitting."""
+    edges = [(0, i) for i in range(1, n)]
+    return CSRGraph.from_edges(edges, n=n, symmetrize=True)
+
+
+def grid_graph(rows: int, cols: int) -> CSRGraph:
+    """A 2-D mesh — the regular, zero-skew counterpoint to RMAT (useful
+    for isolating skew effects in binding experiments)."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid needs positive dimensions")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return CSRGraph.from_edges(edges, n=rows * cols, symmetrize=True)
+
+
+def watts_strogatz(
+    n: int, k: int = 4, rewire_prob: float = 0.1, seed: int = 0
+) -> CSRGraph:
+    """Small-world ring lattice with rewiring — low diameter, near-uniform
+    degrees; stresses BFS round counts differently than RMAT."""
+    if n < 3 or k < 2 or k % 2:
+        raise GraphError("watts-strogatz needs n >= 3 and even k >= 2")
+    if not (0.0 <= rewire_prob <= 1.0):
+        raise GraphError("rewire probability must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    edges = set()
+    for v in range(n):
+        for j in range(1, k // 2 + 1):
+            u = (v + j) % n
+            if rng.random() < rewire_prob:
+                w = int(rng.integers(0, n))
+                if w != v and (v, w) not in edges and (w, v) not in edges:
+                    u = w
+            edges.add((v, u))
+    return CSRGraph.from_edges(sorted(edges), n=n, symmetrize=True)

@@ -1,0 +1,94 @@
+"""Binary graph I/O mimicking the artifact's ``*_gv.bin`` / ``*_nl.bin``.
+
+The preprocessing tools emit two binaries: a vertex array (``_gv.bin``,
+fixed-stride records) and a neighbor list (``_nl.bin``, one int64 per
+destination).  We reproduce that format so benchmarks can be driven from
+files exactly like the artifact:
+
+vertex record (4 little-endian int64 words, matching the simulated
+``Vertex`` struct of Listing 3)::
+
+    word 0: original vertex ID (the "rep" for split graphs)
+    word 1: degree (of this vertex / sub-vertex)
+    word 2: neighbor-list offset (word index into the _nl file)
+    word 3: original total degree (== degree for unsplit graphs)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from .csr import CSRGraph
+from .splitting import SplitGraph
+
+VERTEX_STRIDE_WORDS = 4
+
+PathLike = Union[str, Path]
+
+
+def vertex_records(graph: CSRGraph, split: SplitGraph | None = None) -> np.ndarray:
+    """The ``(n, 4)`` int64 vertex-record array for a graph."""
+    if split is not None:
+        g = split.graph
+        rep = split.rep
+        orig_degree = split.orig_degree[rep]
+    else:
+        g = graph
+        rep = np.arange(g.n, dtype=np.int64)
+        orig_degree = g.degrees
+    rec = np.empty((g.n, VERTEX_STRIDE_WORDS), dtype=np.int64)
+    rec[:, 0] = rep
+    rec[:, 1] = g.degrees
+    rec[:, 2] = g.offsets[:-1]
+    rec[:, 3] = orig_degree
+    return rec
+
+
+def save_graph(
+    prefix: PathLike, graph: CSRGraph, split: SplitGraph | None = None
+) -> Tuple[Path, Path]:
+    """Write ``<prefix>_gv.bin`` and ``<prefix>_nl.bin`` (plus a small
+    JSON sidecar with the counts); returns the two binary paths."""
+    prefix = Path(prefix)
+    g = split.graph if split is not None else graph
+    gv = prefix.with_name(prefix.name + "_gv.bin")
+    nl = prefix.with_name(prefix.name + "_nl.bin")
+    vertex_records(graph, split).tofile(gv)
+    g.neighbors.astype(np.int64).tofile(nl)
+    meta = {
+        "n": int(g.n),
+        "m": int(g.m),
+        "n_orig": int(split.n_orig) if split is not None else int(graph.n),
+        "max_degree": int(split.max_degree) if split is not None else None,
+    }
+    prefix.with_name(prefix.name + "_meta.json").write_text(json.dumps(meta))
+    return gv, nl
+
+
+def load_graph(prefix: PathLike) -> Tuple[np.ndarray, np.ndarray, dict]:
+    """Read the binaries back: ``(vertex_records, neighbor_list, meta)``."""
+    prefix = Path(prefix)
+    gv = prefix.with_name(prefix.name + "_gv.bin")
+    nl = prefix.with_name(prefix.name + "_nl.bin")
+    meta = json.loads(prefix.with_name(prefix.name + "_meta.json").read_text())
+    records = np.fromfile(gv, dtype=np.int64).reshape(-1, VERTEX_STRIDE_WORDS)
+    neighbors = np.fromfile(nl, dtype=np.int64)
+    if len(records) != meta["n"]:
+        raise OSError(f"{gv}: record count disagrees with sidecar")
+    if len(neighbors) != meta["m"]:
+        raise OSError(f"{nl}: neighbor count disagrees with sidecar")
+    return records, neighbors, meta
+
+
+def csr_from_records(
+    records: np.ndarray, neighbors: np.ndarray
+) -> CSRGraph:
+    """Rebuild a :class:`CSRGraph` from loaded binary records."""
+    degrees = records[:, 1]
+    offsets = np.zeros(len(records) + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    return CSRGraph(offsets, neighbors)

@@ -1,0 +1,58 @@
+"""CSV export of benchmark series — the data behind each figure.
+
+Each Figure 9-12 benchmark prints a text table; this module writes the
+same series as machine-readable CSV so downstream users can re-plot the
+figures with their tool of choice.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+
+def write_speedup_csv(
+    path,
+    node_counts: Sequence[int],
+    series: Mapping[str, Mapping[int, float]],
+    reported: Optional[Mapping[str, Mapping[int, float]]] = None,
+) -> Path:
+    """One row per node count; measured (and optionally paper) columns
+    per graph."""
+    path = Path(path)
+    names = list(series)
+    header = ["nodes"]
+    for name in names:
+        header.append(f"{name}_measured")
+        if reported and name in reported:
+            header.append(f"{name}_paper")
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for nodes in node_counts:
+            row: list = [nodes]
+            for name in names:
+                row.append(series[name].get(nodes, ""))
+                if reported and name in reported:
+                    row.append(reported[name].get(nodes, ""))
+            writer.writerow(row)
+    return path
+
+
+def write_series_csv(
+    path, rows: Sequence[Sequence], columns: Sequence[str]
+) -> Path:
+    """Write a generic (rows, columns) series as CSV; returns the path."""
+    path = Path(path)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(columns)
+        writer.writerows(rows)
+    return path
+
+
+def read_csv(path) -> list:
+    """Round-trip helper for tests."""
+    with open(path, newline="") as fh:
+        return list(csv.reader(fh))

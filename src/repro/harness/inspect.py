@@ -1,0 +1,71 @@
+"""Post-run machine inspection: where did the time and traffic go?
+
+Text reports over a finished simulation, for the performance-debugging
+loop the paper's §5.3 placement experiments imply (find the hot memory
+node, change one DRAMmalloc number, re-run).
+"""
+
+from __future__ import annotations
+
+from repro.machine.simulator import Simulator
+
+
+def memory_report(sim: Simulator, top: int = 8) -> str:
+    """Per-node DRAM bytes served, hottest first — the Figure 12
+    diagnosis view (a skewed column means placement is the bottleneck)."""
+    rows = [
+        (node, sim.memory.bytes_served(node))
+        for node in range(sim.config.nodes)
+    ]
+    rows.sort(key=lambda r: -r[1])
+    total = sum(b for _n, b in rows) or 1
+    lines = ["node   bytes_served   share"]
+    for node, served in rows[:top]:
+        lines.append(f"{node:4}   {served:12}   {served / total:6.1%}")
+    mean = total / sim.config.nodes
+    hottest = rows[0][1] if rows else 0
+    lines.append(
+        f"hot/mean ratio: {hottest / mean:.2f}x over {sim.config.nodes} nodes"
+    )
+    return "\n".join(lines)
+
+
+def lane_report(sim: Simulator, top: int = 8) -> str:
+    """Busiest lanes by executed cycles — the load-balance view."""
+    stats = sim.stats
+    rows = sorted(
+        stats.busy_cycles_by_lane.items(), key=lambda kv: -kv[1]
+    )
+    lines = ["lane   busy_cycles   share_of_makespan"]
+    makespan = stats.final_tick or 1.0
+    for lane, busy in rows[:top]:
+        lines.append(f"{lane:4}   {busy:11.0f}   {busy / makespan:6.1%}")
+    lines.append(
+        f"active lanes: {stats.active_lanes()}, "
+        f"imbalance {stats.load_imbalance():.2f}x, "
+        f"utilization {stats.utilization(sim.config.total_lanes):.1%}"
+    )
+    return "\n".join(lines)
+
+
+def event_report(sim: Simulator, top: int = 10) -> str:
+    """Event counts by label — which part of the program dominated."""
+    rows = sorted(
+        sim.stats.events_by_label.items(), key=lambda kv: -kv[1]
+    )
+    lines = ["event label" + " " * 35 + "count"]
+    for label, count in rows[:top]:
+        lines.append(f"{label:45} {count:8}")
+    return "\n".join(lines)
+
+
+def full_report(sim: Simulator) -> str:
+    """Summary + memory + lane + event reports, concatenated."""
+    return "\n\n".join(
+        [
+            sim.stats.summary(),
+            memory_report(sim),
+            lane_report(sim),
+            event_report(sim),
+        ]
+    )

@@ -1,0 +1,72 @@
+"""Paper-style text reports: the rows/series Figures 9-12 and Tables 8-12
+print, with the paper-reported numbers alongside the measured ones."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+
+def speedup_table(
+    title: str,
+    node_counts: Sequence[int],
+    series: Mapping[str, Mapping[int, float]],
+    reported: Optional[Mapping[str, Mapping[int, float]]] = None,
+) -> str:
+    """Render a Table 8/9/10-style speedup table.
+
+    ``series`` maps graph name -> {nodes: measured speedup}; ``reported``
+    optionally maps graph name -> {nodes: paper speedup} printed as
+    ``(paper x.xx)`` next to each measured value.
+    """
+    lines = [title, "=" * len(title)]
+    names = list(series)
+    header = f"{'Nodes':>6} " + " ".join(f"{n:>22}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for nodes in node_counts:
+        cells = []
+        for name in names:
+            got = series[name].get(nodes)
+            cell = "-" if got is None else f"{got:8.2f}"
+            if reported and name in reported:
+                ref = reported[name].get(nodes)
+                cell += "        -" if ref is None else f" (paper {ref:6.2f})"
+            cells.append(f"{cell:>22}")
+        lines.append(f"{nodes:>6} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def series_table(
+    title: str,
+    rows: Sequence[tuple],
+    columns: Sequence[str],
+) -> str:
+    """Generic aligned table for throughput/latency series."""
+    lines = [title, "=" * len(title)]
+    header = " ".join(f"{c:>16}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = []
+        for v in row:
+            if isinstance(v, float):
+                cells.append(f"{v:>16.4g}")
+            else:
+                cells.append(f"{v!s:>16}")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def shape_summary(
+    name: str,
+    measured: Mapping[int, float],
+    reported: Mapping[int, float],
+    agreement: float,
+) -> str:
+    """One-line measured-vs-paper peak + rank-agreement summary."""
+    peak_m = max(measured.values())
+    peak_r = max(reported.values())
+    return (
+        f"{name}: measured peak speedup {peak_m:.1f}x "
+        f"(paper {peak_r:.1f}x), rank agreement {agreement:+.2f}"
+    )

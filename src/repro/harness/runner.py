@@ -1,0 +1,175 @@
+"""Experiment runner: one function per application, one fresh machine per
+configuration — the artifact's "run the binary with <nodes>" step.
+
+Every runner builds a scaled-down :func:`repro.machine.bench_machine`
+(lanes-per-node reduced 64×, with per-node memory and injection bandwidth
+scaled to match; see DESIGN.md) and returns the simulated seconds the
+artifact extracts from the logs (``ticks / 2 GHz``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence
+
+from repro.apps.bfs import BFSApp
+from repro.apps.ingestion import IngestionApp
+from repro.apps.pagerank import PageRankApp
+from repro.apps.partial_match import PartialMatchApp, Pattern
+from repro.apps.tform import Record
+from repro.apps.triangle import TriangleCountApp
+from repro.graph.csr import CSRGraph
+from repro.machine.config import MachineConfig, bench_machine
+from repro.udweave import UpDownRuntime
+
+#: benchmark machine shape: 2 lanes/node (each simulated node models a
+#: 1/1024 slice of a real 2048-lane node; see bench_machine)
+BENCH_ACCELS_PER_NODE = 1
+BENCH_LANES_PER_ACCEL = 2
+
+#: guardrail for runaway simulations in sweeps
+DEFAULT_MAX_EVENTS = 30_000_000
+
+#: Scaled-down graphs are ~2^16x smaller than the paper's, so the
+#: paper-default 32KB placement block would put whole arrays (and whole
+#: hub neighbor lists) on one node.  512B blocks keep the blocks-per-array
+#: and blocks-per-hub-list ratios comparable to full scale (DESIGN.md).
+BENCH_BLOCK_SIZE = 512
+
+
+def bench_config(nodes: int, **overrides) -> MachineConfig:
+    """The scaled benchmark machine at a given node count (see DESIGN.md)."""
+    return bench_machine(
+        nodes=nodes,
+        accels_per_node=BENCH_ACCELS_PER_NODE,
+        lanes_per_accel=BENCH_LANES_PER_ACCEL,
+        **overrides,
+    )
+
+
+@dataclass
+class RunRecord:
+    """One (app, config) execution."""
+
+    nodes: int
+    seconds: float
+    metric: float  # app-specific figure of merit (GUPS, GTEPS, recs/s, ...)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+def run_pagerank(
+    graph: CSRGraph,
+    nodes: int,
+    iterations: int = 1,
+    max_degree: int = 64,
+    mem_nodes: Optional[int] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    **machine_overrides,
+) -> RunRecord:
+    """One PageRank run on a fresh scaled machine; returns its RunRecord."""
+    rt = UpDownRuntime(bench_config(nodes, **machine_overrides))
+    app = PageRankApp(
+        rt, graph, max_degree=max_degree, mem_nodes=mem_nodes,
+        block_size=BENCH_BLOCK_SIZE,
+    )
+    res = app.run(iterations=iterations, max_events=max_events)
+    return RunRecord(
+        nodes=nodes,
+        seconds=res.elapsed_seconds,
+        metric=res.giga_updates_per_second,
+        extra={"edges": res.edges_per_iteration, "stats": res.stats},
+    )
+
+
+def run_bfs(
+    graph: CSRGraph,
+    nodes: int,
+    root: int = 0,
+    max_degree: int = 64,
+    mem_nodes: Optional[int] = None,
+    frontier_mem_nodes: Optional[int] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    **machine_overrides,
+) -> RunRecord:
+    """One BFS run on a fresh scaled machine; returns its RunRecord."""
+    rt = UpDownRuntime(bench_config(nodes, **machine_overrides))
+    app = BFSApp(
+        rt,
+        graph,
+        max_degree=max_degree,
+        mem_nodes=mem_nodes,
+        frontier_mem_nodes=frontier_mem_nodes,
+        block_size=BENCH_BLOCK_SIZE,
+    )
+    res = app.run(root=root, max_events=max_events)
+    return RunRecord(
+        nodes=nodes,
+        seconds=res.elapsed_seconds,
+        metric=res.giga_teps,
+        extra={
+            "rounds": res.rounds,
+            "traversed": res.traversed_edges,
+            "stats": res.stats,
+        },
+    )
+
+
+def run_triangle_count(
+    graph: CSRGraph,
+    nodes: int,
+    pbmw: bool = False,
+    mem_nodes: Optional[int] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    **machine_overrides,
+) -> RunRecord:
+    """One TC run on a fresh scaled machine; returns its RunRecord."""
+    rt = UpDownRuntime(bench_config(nodes, **machine_overrides))
+    app = TriangleCountApp(
+        rt, graph, pbmw=pbmw, mem_nodes=mem_nodes, block_size=BENCH_BLOCK_SIZE
+    )
+    res = app.run(max_events=max_events)
+    return RunRecord(
+        nodes=nodes,
+        seconds=res.elapsed_seconds,
+        metric=res.triangles / res.elapsed_seconds if res.elapsed_seconds else 0,
+        extra={"triangles": res.triangles, "stats": res.stats},
+    )
+
+
+def run_ingestion(
+    records: Sequence[Record],
+    nodes: int,
+    block_words: int = 64,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    **machine_overrides,
+) -> RunRecord:
+    """One ingestion run on a fresh scaled machine; returns its RunRecord."""
+    rt = UpDownRuntime(bench_config(nodes, **machine_overrides))
+    app = IngestionApp(rt, records, block_words=block_words)
+    res = app.run(max_events=max_events)
+    return RunRecord(
+        nodes=nodes,
+        seconds=res.elapsed_seconds,
+        metric=res.records_per_second,
+        extra={"records": res.records, "stats": res.stats},
+    )
+
+
+def run_partial_match(
+    records: Sequence[Record],
+    patterns: Sequence[Pattern],
+    nodes: int,
+    gap_cycles: float = 2000.0,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    **machine_overrides,
+) -> RunRecord:
+    """One partial-match stream on a fresh scaled machine (latency metric)."""
+    rt = UpDownRuntime(bench_config(nodes, **machine_overrides))
+    app = PartialMatchApp(rt, patterns)
+    res = app.run_stream(records, gap_cycles=gap_cycles, max_events=max_events)
+    return RunRecord(
+        nodes=nodes,
+        seconds=res.mean_latency_seconds,
+        metric=1.0 / res.mean_latency_seconds if res.mean_latency_seconds else 0,
+        extra={"alerts": len(res.alerts), "stats": res.stats},
+    )

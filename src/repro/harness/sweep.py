@@ -1,0 +1,73 @@
+"""Strong-scaling sweeps and speedup/shape analysis (Figures 9-12)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from .runner import RunRecord
+
+#: the artifact's node sweep for PR and BFS (Figure 9 left/center)
+PR_BFS_NODES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: the TC sweep extends to 1024 nodes (Figure 9 right)
+TC_NODES = (1, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def sweep(
+    run: Callable[..., RunRecord],
+    node_counts: Sequence[int],
+    **kwargs,
+) -> List[RunRecord]:
+    """Run one app over a node sweep (fixed problem = strong scaling)."""
+    return [run(nodes=n, **kwargs) for n in node_counts]
+
+
+def speedups(records: Sequence[RunRecord]) -> Dict[int, float]:
+    """Per-node speedup over the smallest configuration, the normalization
+    the artifact's Tables 8-12 use."""
+    if not records:
+        return {}
+    base = records[0].seconds
+    if base <= 0:
+        raise ValueError("baseline time must be positive")
+    return {r.nodes: base / r.seconds for r in records}
+
+
+def scaling_efficiency(records: Sequence[RunRecord]) -> Dict[int, float]:
+    """Speedup / (nodes ratio): 1.0 = perfectly linear."""
+    sp = speedups(records)
+    base_nodes = records[0].nodes
+    return {n: s / (n / base_nodes) for n, s in sp.items()}
+
+
+def is_monotone_nondecreasing(
+    values: Sequence[float], slack: float = 0.05
+) -> bool:
+    """Shape check used to compare against the paper's curves: each step
+    may regress at most ``slack`` relatively (simulation noise)."""
+    return all(
+        b >= a * (1.0 - slack) for a, b in zip(values, values[1:])
+    )
+
+
+def shape_agreement(
+    measured: Dict[int, float], reported: Dict[int, float]
+) -> float:
+    """Spearman-style rank agreement between measured and paper-reported
+    speedup series over their common node counts (1.0 = same ordering)."""
+    common = sorted(set(measured) & set(reported))
+    if len(common) < 3:
+        raise ValueError("need at least three common points")
+    m = _ranks([measured[n] for n in common])
+    r = _ranks([reported[n] for n in common])
+    n = len(common)
+    d2 = sum((a - b) ** 2 for a, b in zip(m, r))
+    return 1.0 - 6.0 * d2 / (n * (n * n - 1))
+
+
+def _ranks(values: Sequence[float]) -> List[float]:
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    for rank, idx in enumerate(order):
+        ranks[idx] = float(rank)
+    return ranks

@@ -1,0 +1,53 @@
+"""do_all: flat data parallelism on top of KVMSR (paper Table 5: 33 LoC).
+
+Many AGILE kernels (Table 3) use KVMSR "indirectly" through ``doAll``: run
+a body once per key, with the reduction providing only synchronization.
+``make_do_all`` builds the one-off :class:`MapTask` subclass and job.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.udweave.context import LaneContext
+from repro.udweave.runtime import UpDownRuntime
+
+from .binding import LaneSet, MapBinding
+from .engine import KVMSRJob, MapTask
+from .iterator import RangeInput
+
+_counter = itertools.count()
+
+
+def make_do_all(
+    runtime: UpDownRuntime,
+    n_keys: int,
+    body: Callable[[LaneContext, int], None],
+    name: Optional[str] = None,
+    lanes: Optional[LaneSet] = None,
+    map_binding: Optional[MapBinding] = None,
+    max_inflight: int = 64,
+) -> KVMSRJob:
+    """A KVMSR job that runs ``body(ctx, key)`` for every key in ``0..n-1``.
+
+    The body must be synchronous (single-activation); charge its compute
+    with ``ctx.work``.  Completion is signaled through the job's
+    continuation like any KVMSR invocation.
+    """
+    cls_name = name or f"DoAll{next(_counter)}"
+
+    def kv_map(self, ctx: LaneContext, key, *values) -> None:
+        body(ctx, key)
+        self.kv_map_return(ctx)
+
+    worker = type(cls_name, (MapTask,), {"kv_map": kv_map})
+    return KVMSRJob(
+        runtime,
+        map_cls=worker,
+        input_spec=RangeInput(n_keys),
+        lanes=lanes,
+        map_binding=map_binding,
+        max_inflight=max_inflight,
+        name=cls_name,
+    )

@@ -1,0 +1,718 @@
+"""KVMSR: key-value map-shuffle-reduce over shared global state (§2.2).
+
+This module is this repo's rendering of the paper's 1,586-LoC UDWeave KVMSR
+library.  The moving parts, all UDWeave threads themselves:
+
+* :class:`KVMSRMaster` — one per invocation.  Partitions the key space per
+  the map binding, drives the hierarchical start broadcast, detects
+  termination, runs the flush phase, and fires the completion continuation.
+* :class:`NodeCoordinator` — per-node control lane (the paper's multi-level
+  control for "synchronization and broadcast overhead").  Fans a phase out
+  to the node's lanes and aggregates their replies.
+* :class:`MapperLane` — per-lane map dispatcher: walks its key block,
+  keeps a bounded number of map tasks in flight (matching parallelism to
+  "physical thread resources without any application programmer effort",
+  §4.1.3), and for PBMW asks the master for more work when it runs dry.
+* :class:`MapTask` / :class:`ReduceTask` — base classes for user map and
+  reduce workers, providing ``kv_emit``, ``kv_map_return``,
+  ``kv_reduce_return``, and the flush hooks.
+
+Termination detection: every map task reports its emit count on
+completion; counts aggregate lane → node → master.  Reduce completions
+bump a per-lane scratchpad counter; once all maps are done the master
+polls the reduce lanes (hierarchically) until the summed reduce count
+equals the total emit count.  Counts only grow and never exceed the
+total, so a matching sum proves quiescence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.udweave.context import LaneContext
+from repro.udweave.runtime import UpDownRuntime
+from repro.udweave.thread import UDThread, event
+
+from .binding import (
+    BlockBinding,
+    HashBinding,
+    LaneSet,
+    MapBinding,
+    ReduceBinding,
+)
+from .iterator import ArrayInput, InputSpec, ListInput, RangeInput
+
+
+class KVMSRError(RuntimeError):
+    """Raised for malformed jobs or protocol violations."""
+
+
+# ---------------------------------------------------------------------------
+# Job descriptor
+# ---------------------------------------------------------------------------
+
+
+class KVMSRJob:
+    """One KVMSR invocation: what to run, over what keys, bound where.
+
+    The job object is host-side configuration (the program image knows it
+    by ``job_id``); task threads reach it through
+    ``ctx.runtime`` for binding decisions and the ``payload`` —
+    application state such as region addresses (the shared global data
+    structures of Figure 3).
+    """
+
+    def __init__(
+        self,
+        runtime: UpDownRuntime,
+        map_cls: type,
+        input_spec: InputSpec,
+        reduce_cls: Optional[type] = None,
+        lanes: Optional[LaneSet] = None,
+        reduce_lanes: Optional[LaneSet] = None,
+        map_binding: Optional[MapBinding] = None,
+        reduce_binding: Optional[ReduceBinding] = None,
+        max_inflight: int = 64,
+        poll_interval_cycles: float = 2_000.0,
+        master_lane: Optional[int] = None,
+        payload: Any = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if not issubclass(map_cls, MapTask):
+            raise KVMSRError("map_cls must subclass kvmsr.MapTask")
+        if reduce_cls is not None and not issubclass(reduce_cls, ReduceTask):
+            raise KVMSRError("reduce_cls must subclass kvmsr.ReduceTask")
+        if max_inflight < 1:
+            raise KVMSRError("max_inflight must be at least 1")
+        self.runtime = runtime
+        self.map_cls = map_cls
+        self.reduce_cls = reduce_cls
+        self.input = input_spec
+        self.lanes = lanes or LaneSet.whole_machine(runtime.config)
+        self.reduce_lanes = reduce_lanes or self.lanes
+        self.map_binding = map_binding or BlockBinding()
+        self.reduce_binding = reduce_binding or HashBinding()
+        self.max_inflight = max_inflight
+        self.poll_interval_cycles = poll_interval_cycles
+        self.master_lane = self.lanes[0] if master_lane is None else master_lane
+        self.payload = payload
+        self.name = name or map_cls.__name__
+
+        ensure_registered(runtime)
+        runtime.register(map_cls)
+        if reduce_cls is not None:
+            runtime.register(reduce_cls)
+        self.job_id = _register_job(runtime, self)
+
+    # -- label helpers -------------------------------------------------
+
+    @property
+    def reduce_entry_label(self) -> str:
+        assert self.reduce_cls is not None
+        return f"{self.reduce_cls.__name__}::__reduce_entry__"
+
+    @property
+    def flush_entry_label(self) -> str:
+        assert self.reduce_cls is not None
+        return f"{self.reduce_cls.__name__}::__flush_entry__"
+
+    @property
+    def map_entry_label(self) -> str:
+        return f"{self.map_cls.__name__}::__map_entry__"
+
+    # -- launching -------------------------------------------------------
+
+    def launch(self, cont_tag: str = "kvmsr_done") -> None:
+        """Host-side start; completion lands in the host mailbox."""
+        self.runtime.start(
+            self.master_lane,
+            "KVMSRMaster::start",
+            self.job_id,
+            cont=self.runtime.host_evw(cont_tag),
+        )
+
+    def launch_from(self, ctx: LaneContext, cont_evw: Optional[int]) -> None:
+        """Device-side start: an application thread chains a KVMSR phase."""
+        ctx.spawn(
+            self.master_lane, "KVMSRMaster::start", self.job_id, cont=cont_evw
+        )
+
+
+def _registry(runtime: UpDownRuntime) -> Dict[int, KVMSRJob]:
+    reg = getattr(runtime, "_kvmsr_jobs", None)
+    if reg is None:
+        reg = {}
+        runtime._kvmsr_jobs = reg  # type: ignore[attr-defined]
+    return reg
+
+
+def _register_job(runtime: UpDownRuntime, job: KVMSRJob) -> int:
+    reg = _registry(runtime)
+    job_id = len(reg)
+    reg[job_id] = job
+    return job_id
+
+
+def job_of(ctx: LaneContext, job_id: int) -> KVMSRJob:
+    """The job descriptor for ``job_id`` on this machine."""
+    try:
+        return _registry(ctx.runtime)[job_id]
+    except KeyError:
+        raise KVMSRError(f"unknown KVMSR job id {job_id}") from None
+
+
+# ---------------------------------------------------------------------------
+# User task base classes
+# ---------------------------------------------------------------------------
+
+
+class MapTask(UDThread):
+    """Base class for ``kv_map`` workers.
+
+    Subclasses implement ``kv_map(self, ctx, key, *values)`` as a plain
+    method (invoked inside the framework's entry event) plus any number of
+    additional ``@event`` handlers for split-phase continuations (e.g.
+    PageRank's ``returnRead``).  Every activation path must finish with
+    either ``ctx.yield_()`` (more events coming) or ``self.kv_map_return
+    (ctx)`` (task complete — retires the thread and reports to KVMSR).
+    """
+
+    def __init__(self) -> None:
+        self._job_id: int = -1
+        self._done_evw: Optional[int] = None
+        self._emitted: int = 0
+        self._record: Dict[int, Tuple[Any, ...]] = {}
+        self._chunks_left: int = 0
+        self._key: Any = None
+
+    # -- framework entry -------------------------------------------------
+
+    @event
+    def __map_entry__(self, ctx: LaneContext, job_id: int, done_evw: int, key):
+        self._job_id = job_id
+        self._done_evw = done_evw
+        job = job_of(ctx, job_id)
+        inp = job.input
+        if isinstance(inp, RangeInput):
+            self.kv_map(ctx, key)
+        elif isinstance(inp, ListInput):
+            actual_key, values = inp.pair(key)
+            self.kv_map(ctx, actual_key, *values)
+        elif isinstance(inp, ArrayInput):
+            self._key = key
+            base = inp.record_addr(key)
+            nchunks = -(-inp.stride_words // 8)
+            self._chunks_left = nchunks
+            for c in range(nchunks):
+                lo = c * 8
+                n = min(8, inp.stride_words - lo)
+                ctx.send_dram_read(base + 8 * lo, n, "__map_record__", tag=c)
+            ctx.yield_()
+        else:
+            raise KVMSRError(f"unsupported input type {type(inp).__name__}")
+
+    @event
+    def __map_record__(self, ctx: LaneContext, tag: int, *words):
+        self._record[tag] = words
+        self._chunks_left -= 1
+        if self._chunks_left == 0:
+            flat: List[Any] = []
+            for c in sorted(self._record):
+                flat.extend(self._record[c])
+            self._record.clear()
+            self.kv_map(ctx, self._key, *flat)
+        else:
+            ctx.yield_()
+
+    # -- user API ---------------------------------------------------------
+
+    def kv_map(self, ctx: LaneContext, key, *values) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement kv_map"
+        )
+
+    def kv_emit(self, ctx: LaneContext, key, *values) -> None:
+        """Emit an intermediate ``<key, values>`` tuple (``kv_map_emit``).
+
+        The tuple becomes a ``kv_reduce`` task on the lane chosen by the
+        job's reduce binding — an asynchronous send with no response, so
+        "each generates additional parallelism" (§4.1.2).
+        """
+        job = job_of(ctx, self._job_id)
+        if job.reduce_cls is None:
+            raise KVMSRError(
+                f"job {job.name!r} has no reduce phase; kv_emit is invalid"
+            )
+        lane = job.reduce_binding.lane_for(key, job.reduce_lanes)
+        ctx.work(2)  # hash + lane arithmetic
+        ctx.spawn(lane, job.reduce_entry_label, self._job_id, key, *values)
+        self._emitted += 1
+
+    def add_emitted(self, n: int) -> None:
+        """Credit emits performed on this task's behalf by helper threads.
+
+        Applications that build custom local parallelism inside a map task
+        (BFS's per-accelerator master-worker, §4.2.2) have the workers emit
+        with :func:`emit_to_reduce` and report their counts back; the map
+        task credits them here before ``kv_map_return`` so termination
+        detection stays exact.
+        """
+        self._emitted += n
+
+    def kv_map_return(self, ctx: LaneContext) -> None:
+        """Report completion to KVMSR and retire this map thread (§2.2)."""
+        if self._done_evw is None:
+            raise KVMSRError("kv_map_return outside a KVMSR activation")
+        ctx.send_event(self._done_evw, self._emitted)
+        if not (ctx.yielded or ctx.terminated):
+            ctx.yield_terminate()
+
+
+class ReduceTask(UDThread):
+    """Base class for ``kv_reduce`` workers.
+
+    Subclasses implement ``kv_reduce(self, ctx, key, *values)``; each
+    completion path must end with ``self.kv_reduce_return(ctx)``.  An
+    optional ``kv_flush(self, ctx)`` runs once per reduce lane after
+    quiescence (used to drain combining caches to DRAM); it must end with
+    ``self.kv_flush_return(ctx)``.
+    """
+
+    def __init__(self) -> None:
+        self._job_id: int = -1
+        self._flush_ack: Optional[int] = None
+
+    @event
+    def __reduce_entry__(self, ctx: LaneContext, job_id: int, key, *values):
+        self._job_id = job_id
+        self.kv_reduce(ctx, key, *values)
+
+    @event
+    def __flush_entry__(self, ctx: LaneContext, job_id: int, ack_evw: int):
+        self._job_id = job_id
+        self._flush_ack = ack_evw
+        self.kv_flush(ctx)
+
+    # -- user API ----------------------------------------------------------
+
+    def kv_reduce(self, ctx: LaneContext, key, *values) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement kv_reduce"
+        )
+
+    def kv_reduce_return(self, ctx: LaneContext) -> None:
+        """Mark one reduce tuple fully processed; retires the thread."""
+        counter = ("kvr", self._job_id)
+        ctx.sp_write(counter, ctx.sp_read(counter, 0) + 1)
+        if not (ctx.yielded or ctx.terminated):
+            ctx.yield_terminate()
+
+    def kv_flush(self, ctx: LaneContext) -> None:
+        self.kv_flush_return(ctx)
+
+    def kv_flush_return(self, ctx: LaneContext, value=0) -> None:
+        """End the flush; ``value`` is summed across lanes and delivered in
+        the completion message (a cheap global reduction: BFS reports the
+        number of vertices appended to the next frontier, TC the triangle
+        total)."""
+        if self._flush_ack is None:
+            raise KVMSRError("kv_flush_return outside a flush activation")
+        # Reset the epoch counter so the job object can be relaunched
+        # (PageRank iterations, BFS rounds).
+        ctx.sp_write(("kvr", self._job_id), 0)
+        ctx.send_event(self._flush_ack, value)
+        if not (ctx.yielded or ctx.terminated):
+            ctx.yield_terminate()
+
+
+# ---------------------------------------------------------------------------
+# Framework threads
+# ---------------------------------------------------------------------------
+
+
+class LaneProbe(UDThread):
+    """Reads one lane's reduce counter and replies (quiescence poll)."""
+
+    @event
+    def probe(self, ctx: LaneContext, job_id: int, reply_evw: int):
+        count = ctx.sp_read(("kvr", job_id), 0)
+        ctx.send_event(reply_evw, count)
+        ctx.yield_terminate()
+
+
+class MapperLane(UDThread):
+    """Per-lane map dispatcher: throttled task issue over a key block."""
+
+    def __init__(self) -> None:
+        self.job_id = -1
+        self.coord_evw: Optional[int] = None
+        self.master_req_evw: Optional[int] = None
+        self.next_key = 0
+        self.end_key = 0
+        self.inflight = 0
+        self.tasks = 0
+        self.emitted = 0
+
+    @event
+    def start(
+        self,
+        ctx: LaneContext,
+        job_id: int,
+        coord_evw: int,
+        master_req_evw,
+        lo: int,
+        hi: int,
+    ):
+        self.job_id = job_id
+        self.coord_evw = coord_evw
+        self.master_req_evw = master_req_evw
+        self.next_key, self.end_key = lo, hi
+        self._pump(ctx)
+
+    @event
+    def task_done(self, ctx: LaneContext, n_emitted: int):
+        self.inflight -= 1
+        self.tasks += 1
+        self.emitted += n_emitted
+        self._pump(ctx)
+
+    @event
+    def grant(self, ctx: LaneContext, lo: int, hi: int):
+        """PBMW work grant from the master (empty grant = pool dry)."""
+        if lo == hi:
+            self.master_req_evw = None  # stop asking
+            self._finish_or_wait(ctx)
+        else:
+            self.next_key, self.end_key = lo, hi
+            self._pump(ctx)
+
+    def _pump(self, ctx: LaneContext) -> None:
+        job = job_of(ctx, self.job_id)
+        done_evw = ctx.self_evw("task_done")
+        while self.inflight < job.max_inflight and self.next_key < self.end_key:
+            ctx.spawn(
+                ctx.network_id,
+                job.map_entry_label,
+                self.job_id,
+                done_evw,
+                self.next_key,
+            )
+            self.next_key += 1
+            self.inflight += 1
+            ctx.work(2)  # loop + bookkeeping
+        if self.inflight == 0 and self.next_key >= self.end_key:
+            if self.master_req_evw is not None:
+                ctx.send_event(
+                    self.master_req_evw, ctx.self_evw("grant")
+                )
+                ctx.yield_()
+            else:
+                self._finish_or_wait(ctx)
+        else:
+            ctx.yield_()
+
+    def _finish_or_wait(self, ctx: LaneContext) -> None:
+        ctx.send_event(self.coord_evw, self.tasks, self.emitted)
+        ctx.yield_terminate()
+
+
+class NodeCoordinator(UDThread):
+    """Per-node control lane: fan-out + aggregation for one phase.
+
+    A fresh coordinator thread is spawned per node per phase (map start,
+    count poll, flush) — thread creation is free on UpDown (Table 2), so
+    this is how real UDWeave programs structure control too.
+    """
+
+    def __init__(self) -> None:
+        self.master_evw: Optional[int] = None
+        self.pending = 0
+        self.acc_a = 0
+        self.acc_b = 0
+
+    # -- map phase ---------------------------------------------------------
+
+    @event
+    def coord_start(
+        self,
+        ctx: LaneContext,
+        job_id: int,
+        master_evw: int,
+        master_req_evw,
+        assignments,
+    ):
+        self.master_evw = master_evw
+        self.pending = len(assignments)
+        reply = ctx.self_evw("mapper_done")
+        for lane, lo, hi in assignments:
+            ctx.spawn(
+                lane, "MapperLane::start", job_id, reply, master_req_evw, lo, hi
+            )
+            ctx.work(2)
+        ctx.yield_()
+
+    @event
+    def mapper_done(self, ctx: LaneContext, n_tasks: int, n_emitted: int):
+        self.acc_a += n_tasks
+        self.acc_b += n_emitted
+        self.pending -= 1
+        if self.pending == 0:
+            ctx.send_event(self.master_evw, self.acc_a, self.acc_b)
+            ctx.yield_terminate()
+        else:
+            ctx.yield_()
+
+    # -- quiescence poll ----------------------------------------------------
+
+    @event
+    def count_req(self, ctx: LaneContext, job_id: int, master_evw: int, lanes):
+        self.master_evw = master_evw
+        self.pending = len(lanes)
+        self.acc_a = 0
+        reply = ctx.self_evw("count_reply")
+        for lane in lanes:
+            ctx.spawn(lane, "LaneProbe::probe", job_id, reply)
+            ctx.work(1)
+        ctx.yield_()
+
+    @event
+    def count_reply(self, ctx: LaneContext, count: int):
+        self.acc_a += count
+        self.pending -= 1
+        if self.pending == 0:
+            ctx.send_event(self.master_evw, self.acc_a)
+            ctx.yield_terminate()
+        else:
+            ctx.yield_()
+
+    # -- flush phase ---------------------------------------------------------
+
+    @event
+    def flush_req(
+        self,
+        ctx: LaneContext,
+        job_id: int,
+        master_evw: int,
+        flush_label: str,
+        lanes,
+    ):
+        self.master_evw = master_evw
+        self.pending = len(lanes)
+        ack = ctx.self_evw("flush_ack")
+        for lane in lanes:
+            ctx.spawn(lane, flush_label, job_id, ack)
+            ctx.work(1)
+        ctx.yield_()
+
+    @event
+    def flush_ack(self, ctx: LaneContext, value=0):
+        self.acc_b += value
+        self.pending -= 1
+        if self.pending == 0:
+            ctx.send_event(self.master_evw, self.acc_b)
+            ctx.yield_terminate()
+        else:
+            ctx.yield_()
+
+
+class KVMSRMaster(UDThread):
+    """Drives one KVMSR invocation end to end."""
+
+    def __init__(self) -> None:
+        self.job_id = -1
+        self.cont: Optional[int] = None
+        self.phase = "idle"
+        self.nodes_pending = 0
+        self.total_tasks = 0
+        self.total_emitted = 0
+        self.reduced_seen = 0
+        self.pool_next = 0
+        self.pool_end = 0
+        self.poll_rounds = 0
+        self.flush_value = 0
+
+    # -- start ---------------------------------------------------------------
+
+    @event
+    def start(self, ctx: LaneContext, job_id: int):
+        self.job_id = job_id
+        self.cont = ctx.ccont
+        job = job_of(ctx, job_id)
+        ctx.ud_print(f"UDKVMSR started for {job.name}")
+        n_keys = job.input.n_keys
+        if n_keys == 0:
+            self._complete(ctx)
+            return
+        assignments = job.map_binding.partition(n_keys, job.lanes)
+        self.pool_next, self.pool_end = job.map_binding.master_pool(
+            n_keys, job.lanes
+        )
+        master_req_evw = (
+            ctx.self_evw("request_work")
+            if self.pool_next < self.pool_end
+            else None
+        )
+        groups = _group_assignments(ctx, assignments)
+        self.phase = "map"
+        self.nodes_pending = len(groups)
+        reply = ctx.self_evw("node_done")
+        for coord_lane, asgs in groups:
+            ctx.spawn(
+                coord_lane,
+                "NodeCoordinator::coord_start",
+                job_id,
+                reply,
+                master_req_evw,
+                asgs,
+            )
+            ctx.work(2)
+        ctx.work(len(assignments))  # partition arithmetic
+        ctx.yield_()
+
+    # -- PBMW work requests ----------------------------------------------------
+
+    @event
+    def request_work(self, ctx: LaneContext, reply_evw: int):
+        job = job_of(ctx, self.job_id)
+        chunk = getattr(job.map_binding, "chunk_size", 32)
+        lo = self.pool_next
+        hi = min(lo + chunk, self.pool_end)
+        self.pool_next = hi
+        ctx.send_event(reply_evw, lo, hi)
+        ctx.yield_()
+
+    # -- map completion ---------------------------------------------------------
+
+    @event
+    def node_done(self, ctx: LaneContext, n_tasks: int, n_emitted: int):
+        self.total_tasks += n_tasks
+        self.total_emitted += n_emitted
+        self.nodes_pending -= 1
+        if self.nodes_pending > 0:
+            ctx.yield_()
+            return
+        job = job_of(ctx, self.job_id)
+        if job.reduce_cls is None or self.total_emitted == 0:
+            self._complete(ctx)
+        else:
+            self.phase = "reduce"
+            self._poll(ctx)
+
+    # -- quiescence -----------------------------------------------------------
+
+    def _poll(self, ctx: LaneContext) -> None:
+        job = job_of(ctx, self.job_id)
+        groups = job.reduce_lanes.by_node(ctx.config)
+        self.nodes_pending = len(groups)
+        self.reduced_seen = 0
+        self.poll_rounds += 1
+        reply = ctx.self_evw("count_done")
+        for _node, lanes in groups:
+            ctx.spawn(
+                lanes[0],
+                "NodeCoordinator::count_req",
+                self.job_id,
+                reply,
+                lanes,
+            )
+            ctx.work(1)
+        ctx.yield_()
+
+    @event
+    def count_done(self, ctx: LaneContext, count: int):
+        self.reduced_seen += count
+        self.nodes_pending -= 1
+        if self.nodes_pending > 0:
+            ctx.yield_()
+            return
+        if self.reduced_seen >= self.total_emitted:
+            self._flush(ctx)
+        else:
+            job = job_of(ctx, self.job_id)
+            ctx.send_event(
+                ctx.self_evw("poll_again"),
+                delay=job.poll_interval_cycles,
+            )
+            ctx.yield_()
+
+    @event
+    def poll_again(self, ctx: LaneContext):
+        self._poll(ctx)
+
+    # -- flush ------------------------------------------------------------------
+
+    def _flush(self, ctx: LaneContext) -> None:
+        job = job_of(ctx, self.job_id)
+        groups = job.reduce_lanes.by_node(ctx.config)
+        self.phase = "flush"
+        self.nodes_pending = len(groups)
+        reply = ctx.self_evw("flush_done")
+        for _node, lanes in groups:
+            ctx.spawn(
+                lanes[0],
+                "NodeCoordinator::flush_req",
+                self.job_id,
+                reply,
+                job.flush_entry_label,
+                lanes,
+            )
+            ctx.work(1)
+        ctx.yield_()
+
+    @event
+    def flush_done(self, ctx: LaneContext, value=0):
+        self.flush_value += value
+        self.nodes_pending -= 1
+        if self.nodes_pending == 0:
+            self._complete(ctx)
+        else:
+            ctx.yield_()
+
+    # -- completion ----------------------------------------------------------------
+
+    def _complete(self, ctx: LaneContext) -> None:
+        ctx.ud_print(
+            f"UDKVMSR finished for {job_of(ctx, self.job_id).name}"
+        )
+        ctx.send_event(
+            self.cont,
+            self.total_tasks,
+            self.total_emitted,
+            self.poll_rounds,
+            self.flush_value,
+        )
+        ctx.yield_terminate()
+
+
+def emit_to_reduce(ctx: LaneContext, job_id: int, key, *values) -> None:
+    """Emit an intermediate tuple from *any* thread (not just a MapTask).
+
+    Used by application worker threads nested inside a map task; the
+    enclosing map task must credit these emits via
+    :meth:`MapTask.add_emitted` before returning.
+    """
+    job = job_of(ctx, job_id)
+    if job.reduce_cls is None:
+        raise KVMSRError(f"job {job.name!r} has no reduce phase")
+    lane = job.reduce_binding.lane_for(key, job.reduce_lanes)
+    ctx.work(2)
+    ctx.spawn(lane, job.reduce_entry_label, job_id, key, *values)
+
+
+def _group_assignments(ctx: LaneContext, assignments) -> List[Tuple[int, list]]:
+    """Group map assignments by node; coordinator sits on each group's
+    first assigned lane."""
+    cfg = ctx.config
+    groups: Dict[int, list] = {}
+    for asg in assignments:
+        groups.setdefault(cfg.node_of(asg[0]), []).append(asg)
+    return [(asgs[0][0], asgs) for _node, asgs in sorted(groups.items())]
+
+
+_FRAMEWORK_CLASSES = (KVMSRMaster, NodeCoordinator, MapperLane, LaneProbe)
+
+
+def ensure_registered(runtime: UpDownRuntime) -> None:
+    """Register the KVMSR framework threads with a runtime's program."""
+    for cls in _FRAMEWORK_CLASSES:
+        runtime.register(cls)

@@ -1,0 +1,94 @@
+"""The parallel iterator abstraction: how KVMSR feeds keys to map tasks.
+
+Paper §2.3: "The kvmap keys are produced by a parallel iterator
+abstraction, of which appropriate start points in the kvmap are passed to
+each lane in the KVMSR set."
+
+Three input shapes cover the paper's applications:
+
+* :class:`RangeInput` — keys are ``0..n-1`` and the map task fetches
+  whatever it needs from global memory itself (PageRank over vertex IDs);
+* :class:`ArrayInput` — the kvmap is an array in global memory;
+  the map task DRAM-reads ``stride_words`` words per key before running
+  ``kv_map`` (the vertex-struct style of Listing 3), charging the memory
+  traffic of reading the input map;
+* :class:`ListInput` — host-resident explicit ``(key, values)`` pairs
+  delivered through the spawn message (used by small examples such as
+  word count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+from repro.memmodel.drammalloc import Region
+
+
+class InputSpec:
+    """Base class for kvmap inputs; ``n_keys`` is the parallelism."""
+
+    @property
+    def n_keys(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RangeInput(InputSpec):
+    """Keys ``0..n-1``; values are fetched by the map task itself."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError("key count cannot be negative")
+
+    @property
+    def n_keys(self) -> int:
+        return self.n
+
+
+@dataclass(frozen=True)
+class ArrayInput(InputSpec):
+    """Keys index a global-memory array of fixed-stride records.
+
+    Key ``k``'s record occupies words ``[k*stride, (k+1)*stride)`` of
+    ``region``; the framework reads it split-phase (in chunks of at most 8
+    words) and passes the words to ``kv_map`` as values.
+    """
+
+    region: Region
+    stride_words: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.stride_words < 1:
+            raise ValueError("stride must be at least one word")
+        if self.n < 0:
+            raise ValueError("key count cannot be negative")
+        if self.n * self.stride_words > self.region.nwords:
+            raise ValueError(
+                f"{self.n} records of {self.stride_words} words overrun "
+                f"region {self.region.name!r}"
+            )
+
+    @property
+    def n_keys(self) -> int:
+        return self.n
+
+    def record_addr(self, key: int) -> int:
+        return self.region.addr(key * self.stride_words)
+
+
+class ListInput(InputSpec):
+    """Host-resident kvmap: explicit ``(key, values)`` pairs."""
+
+    def __init__(self, pairs: Sequence[Tuple[Any, Tuple[Any, ...]]]) -> None:
+        self.pairs: List[Tuple[Any, Tuple[Any, ...]]] = list(pairs)
+
+    @property
+    def n_keys(self) -> int:
+        return len(self.pairs)
+
+    def pair(self, index: int) -> Tuple[Any, Tuple[Any, ...]]:
+        return self.pairs[index]

@@ -1,0 +1,82 @@
+"""Lane operation costs for the UpDown accelerator (paper Table 2).
+
+Each lane is a 2 GHz MIMD engine executing events atomically.  The paper's
+Table 2 gives the cycle cost of the core lane operations; those constants
+live here so the simulator, the UDWeave context, and the micro-benchmarks
+(``benchmarks/bench_table2_costs.py``) all agree on a single source of
+truth.
+
+Costs are expressed in *lane cycles*.  Wall-clock time is derived by the
+simulator as ``cycles / MachineConfig.clock_hz``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Target operating frequency of an UpDown lane (paper §3, artifact appendix).
+CLOCK_HZ: int = 2_000_000_000
+
+#: Thread creation is performed by hardware at message delivery (0 cycles).
+THREAD_CREATE: int = 0
+
+#: ``yield`` — exit the event, preserve thread state, release the lane.
+THREAD_YIELD: int = 1
+
+#: ``yield_terminate`` — exit the event and deallocate the thread.
+THREAD_DEALLOCATE: int = 1
+
+#: Scratchpad load/store (single word).
+SCRATCHPAD_ACCESS: int = 1
+
+#: ``send_event`` — issue a message.  Table 2 gives 1-2 cycles; we charge the
+#: midpoint deterministically (2 when the message carries a continuation,
+#: 1 otherwise) so simulations are reproducible.
+SEND_MESSAGE: int = 1
+SEND_MESSAGE_WITH_CONT: int = 2
+
+#: ``send_dram_read`` / ``send_dram_write`` — issue a split-phase DRAM
+#: request.  Table 2 gives 1-2 cycles; reads carrying a return continuation
+#: cost 2.
+SEND_DRAM: int = 1
+SEND_DRAM_WITH_CONT: int = 2
+
+#: Default cost charged per modeled instruction when an application calls
+#: ``ctx.work(n)``.  One instruction per cycle on the in-order lane.
+INSTRUCTION: int = 1
+
+#: Base cost of dispatching an event on a lane (operand register setup).
+#: Event parameters use dedicated operand registers (paper §2.1.1), so
+#: dispatch is cheap but not free.
+EVENT_DISPATCH: int = 2
+
+
+@dataclass(frozen=True)
+class CostTable:
+    """A bundle of lane operation costs.
+
+    The default instance reproduces the paper's Table 2.  Tests and ablation
+    benchmarks construct variants (e.g. an expensive-message machine) to show
+    how the cost structure shapes scaling.
+    """
+
+    thread_create: int = THREAD_CREATE
+    thread_yield: int = THREAD_YIELD
+    thread_deallocate: int = THREAD_DEALLOCATE
+    scratchpad_access: int = SCRATCHPAD_ACCESS
+    send_message: int = SEND_MESSAGE
+    send_message_with_cont: int = SEND_MESSAGE_WITH_CONT
+    send_dram: int = SEND_DRAM
+    send_dram_with_cont: int = SEND_DRAM_WITH_CONT
+    instruction: int = INSTRUCTION
+    event_dispatch: int = EVENT_DISPATCH
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if any cost is negative."""
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 0:
+                raise ValueError(f"cost {name!r} must be non-negative")
+
+
+#: The canonical Table 2 cost table.
+DEFAULT_COSTS = CostTable()

@@ -1,0 +1,57 @@
+"""Simulation event records.
+
+The simulator's heap holds :class:`SimEvent` entries.  Two kinds exist:
+
+* ``MESSAGE`` — an UpDown event message arriving at a lane.  Carries a
+  :class:`MessageRecord` describing the target (networkID, thread selector,
+  event label), the operands, and an optional continuation event word.
+* ``DRAM_RESPONSE`` — completion of a split-phase DRAM request, delivered
+  back to the issuing thread as a ``MESSAGE`` in practice; kept distinct in
+  statistics only.
+
+The machine layer is deliberately ignorant of the UDWeave object model: it
+moves :class:`MessageRecord` values around and asks a registered *dispatcher*
+to execute them.  The UDWeave runtime (``repro.udweave``) provides that
+dispatcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+#: Thread-selector sentinel: create a new thread at delivery (``evw_new``).
+NEW_THREAD: int = -1
+
+#: networkID sentinel: the simulation host (results mailbox), not a lane.
+HOST_NWID: int = -2
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One event message on the wire.
+
+    ``thread`` is either a concrete thread-context ID on the target lane or
+    :data:`NEW_THREAD`.  ``label`` names the event handler.  ``continuation``
+    is an encoded event word (or ``None``) passed through to the handler as
+    its reply-to address — the paper's continuation-passing composition
+    (§2.1.3).
+    """
+
+    network_id: int
+    thread: int
+    label: str
+    operands: Tuple[Any, ...] = ()
+    continuation: Optional[int] = None
+    src_network_id: Optional[int] = None
+    #: tag used by statistics ("msg" or "dram"); has no semantic effect.
+    kind: str = "msg"
+
+
+@dataclass(order=True)
+class SimEvent:
+    """Heap entry: deterministic (time, seq) ordering."""
+
+    time: float
+    seq: int
+    record: MessageRecord = field(compare=False)

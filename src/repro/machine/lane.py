@@ -1,0 +1,83 @@
+"""Lane model: one 2 GHz event-driven MIMD compute engine.
+
+A lane owns a table of resident thread contexts (objects with state that
+persists across events, paper §2.1.1), a scratchpad, and a busy-until
+clock.  Events execute atomically: the simulator starts an event at
+``max(arrival, busy_until)`` and advances ``busy_until`` by the event's
+charged cycle count — hardware message queueing falls out of this
+discipline without an explicit queue structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class Lane:
+    """State of one lane, addressed by its flat networkID."""
+
+    __slots__ = (
+        "network_id",
+        "node",
+        "accel",
+        "busy_until",
+        "busy_cycles",
+        "events_executed",
+        "threads",
+        "_next_tid",
+        "_free_tids",
+        "scratchpad",
+    )
+
+    def __init__(self, network_id: int, node: int, accel: int) -> None:
+        self.network_id = network_id
+        self.node = node
+        self.accel = accel
+        self.busy_until: float = 0.0
+        self.busy_cycles: float = 0.0
+        self.events_executed: int = 0
+        #: thread context table: tid -> runtime thread object
+        self.threads: Dict[int, Any] = {}
+        self._next_tid: int = 0
+        self._free_tids: list[int] = []
+        #: lane-private scratchpad storage (word-addressed key/value store);
+        #: capacity policing is done by spmalloc.
+        self.scratchpad: Dict[int, Any] = {}
+
+    def allocate_thread(self, thread_obj: Any) -> int:
+        """Install ``thread_obj`` and return its thread-context ID.
+
+        Context IDs are recycled (hardware thread contexts are a finite
+        resource and the event word's thread field is bounded), so an ID is
+        unique only among *live* threads on the lane.
+        """
+        if self._free_tids:
+            tid = self._free_tids.pop()
+        else:
+            tid = self._next_tid
+            self._next_tid += 1
+        self.threads[tid] = thread_obj
+        return tid
+
+    def get_thread(self, tid: int) -> Optional[Any]:
+        return self.threads.get(tid)
+
+    def deallocate_thread(self, tid: int) -> None:
+        """Free a thread context (``yield_terminate``)."""
+        if self.threads.pop(tid, None) is not None:
+            self._free_tids.append(tid)
+
+    @property
+    def live_threads(self) -> int:
+        return len(self.threads)
+
+    def account_execution(self, start: float, cycles: float) -> float:
+        """Record an event execution of ``cycles`` starting at ``start``.
+
+        Returns the completion time and advances the busy-until clock.
+        """
+        end = start + cycles
+        self.busy_until = end
+        self.busy_cycles += cycles
+        self.events_executed += 1
+        return end

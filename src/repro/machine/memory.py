@@ -1,0 +1,128 @@
+"""Per-node DRAM (HBM3e) capacity/latency model and lane scratchpads.
+
+Each UpDown node carries 8 HBM3e stacks delivering ~9.4 TB/s (paper §3).
+Following Fastsim's streamlined memory model, a node's memory is one
+serially-occupied channel:
+
+* a request arriving at ``t`` starts service at ``max(t, channel_free)``;
+* service occupies the channel for ``nbytes / bandwidth`` cycles;
+* the response is ready ``access latency`` after service starts;
+* remote requesters get a reduced bandwidth share
+  (``remote_dram_bandwidth_ratio``, paper §3.2's 3:1 local:remote) and pay
+  the network round trip on top (yielding the paper's ~7:1 latency ratio).
+
+Scratchpad memory (64 KB per lane, poolable within an accelerator) is
+modeled as a per-lane key/value store with single-cycle access charged by
+the UDWeave context; capacity accounting lives in
+:mod:`repro.memmodel.spmalloc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .config import MachineConfig
+
+
+@dataclass
+class DramAccessResult:
+    """Timing of one serviced DRAM request."""
+
+    response_ready: float
+    service_start: float
+    occupancy: float
+
+
+class MemoryChannel:
+    """One node's DRAM channel."""
+
+    __slots__ = ("free_at", "bytes_served", "requests")
+
+    def __init__(self) -> None:
+        self.free_at: float = 0.0
+        self.bytes_served: int = 0
+        self.requests: int = 0
+
+    def service(
+        self,
+        t_arrive: float,
+        nbytes: int,
+        bytes_per_cycle: float,
+        latency_cycles: float,
+    ) -> DramAccessResult:
+        start = max(t_arrive, self.free_at)
+        occupancy = nbytes / bytes_per_cycle
+        self.free_at = start + occupancy
+        self.bytes_served += nbytes
+        self.requests += 1
+        return DramAccessResult(
+            response_ready=start + latency_cycles + occupancy,
+            service_start=start,
+            occupancy=occupancy,
+        )
+
+
+class MemorySystem:
+    """All node memory channels of the machine.
+
+    Two fidelity levels, mirroring the paper's Fastsim/Gem5sim pair
+    (§5.1): the default *fast* model serializes each node's memory through
+    one channel at the node's aggregate bandwidth; the *detailed* model
+    (``banks_per_node > 1``) splits the node into independent HBM
+    pseudo-channels selected by address, each carrying an equal bandwidth
+    share — closer to how 8 HBM3e stacks actually behave, at more
+    simulation cost.  ``tests/integration/test_calibration.py`` checks the
+    two agree on balanced traffic, the same cross-check the authors ran
+    between their simulators.
+    """
+
+    #: detailed-mode bank interleave granularity (bytes)
+    BANK_INTERLEAVE = 256
+
+    def __init__(self, config: MachineConfig, banks_per_node: int = 1) -> None:
+        if banks_per_node < 1:
+            raise ValueError("need at least one bank per node")
+        self.config = config
+        self.banks_per_node = banks_per_node
+        self._channels: Dict[tuple, MemoryChannel] = {}
+
+    def channel(self, node: int, bank: int = 0) -> MemoryChannel:
+        key = (node, bank)
+        ch = self._channels.get(key)
+        if ch is None:
+            ch = self._channels[key] = MemoryChannel()
+        return ch
+
+    def _bank_of(self, local_offset: int) -> int:
+        return (local_offset // self.BANK_INTERLEAVE) % self.banks_per_node
+
+    def access(
+        self,
+        t_arrive: float,
+        requester_node: int,
+        memory_node: int,
+        nbytes: int,
+        local_offset: int = 0,
+    ) -> DramAccessResult:
+        """Service an access at ``memory_node`` issued from ``requester_node``.
+
+        ``t_arrive`` is the time the request reaches the memory controller
+        (the caller adds network latency for remote requests);
+        ``local_offset`` selects the bank in detailed mode.
+        """
+        cfg = self.config
+        bw = cfg.node_dram_bytes_per_cycle / self.banks_per_node
+        if requester_node != memory_node:
+            bw *= cfg.remote_dram_bandwidth_ratio
+        bank = self._bank_of(local_offset)
+        return self.channel(memory_node, bank).service(
+            t_arrive, nbytes, bw, float(cfg.dram_latency_cycles)
+        )
+
+    def bytes_served(self, node: int) -> int:
+        return sum(
+            ch.bytes_served
+            for (n, _b), ch in self._channels.items()
+            if n == node
+        )

@@ -1,0 +1,229 @@
+"""The discrete-event simulator core (this repo's stand-in for Fastsim).
+
+The engine keeps a single heap of in-flight messages ordered by
+(delivery time, sequence).  Executing a message on a lane is delegated to a
+*dispatcher* installed by the UDWeave runtime; the dispatcher runs the
+Python event handler, charges cycles per the Table 2 cost model, and issues
+outgoing messages back through :meth:`Simulator.send` /
+:meth:`Simulator.dram_transaction`.
+
+Determinism: ties are broken by a monotone sequence number, and all
+latency jitter (used only by failure-injection tests) is seeded, so every
+simulation run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from .config import MachineConfig
+from .events import HOST_NWID, MessageRecord, SimEvent
+from .lane import Lane
+from .memory import MemorySystem
+from .network import Network
+from .stats import SimStats
+
+#: dispatcher(sim, lane, record, start_time) -> cycles consumed
+Dispatcher = Callable[["Simulator", Lane, MessageRecord, float], float]
+
+
+class SimulationError(RuntimeError):
+    """Raised for malformed programs (bad target, missing dispatcher, ...)."""
+
+
+class Simulator:
+    """Event-driven simulation of one UpDown machine."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        dispatcher: Optional[Dispatcher] = None,
+        latency_jitter_cycles: float = 0.0,
+        seed: int = 0,
+        memory_banks_per_node: int = 1,
+        trace: bool = False,
+    ) -> None:
+        self.config = config
+        self.dispatcher = dispatcher
+        self.network = Network(config, jitter_cycles=latency_jitter_cycles, seed=seed)
+        self.memory = MemorySystem(config, banks_per_node=memory_banks_per_node)
+        self.stats = SimStats()
+        #: optional message trace: (t_issue, t_deliver, src, dst, label)
+        #: per send.  Off by default — tracing a large run is expensive.
+        self.trace_enabled = trace
+        self.trace: List[Tuple[float, float, Optional[int], int, str]] = []
+        self._heap: List[SimEvent] = []
+        self._seq = 0
+        self._lanes: dict[int, Lane] = {}
+        self.now: float = 0.0
+        #: messages addressed to the host (program results / completion).
+        self.host_inbox: List[Tuple[float, MessageRecord]] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def lane(self, network_id: int) -> Lane:
+        """The lane object for ``network_id`` (created lazily)."""
+        ln = self._lanes.get(network_id)
+        if ln is None:
+            cfg = self.config
+            cfg._check_nwid(network_id)
+            ln = Lane(
+                network_id,
+                node=cfg.node_of(network_id),
+                accel=cfg.accel_of(network_id),
+            )
+            self._lanes[network_id] = ln
+        return ln
+
+    @property
+    def instantiated_lanes(self) -> int:
+        return len(self._lanes)
+
+    # ------------------------------------------------------------------
+    # Message transport
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        record: MessageRecord,
+        t_issue: float,
+        src_node: Optional[int],
+    ) -> float:
+        """Put ``record`` on the wire at ``t_issue``; returns delivery time.
+
+        ``src_node=None`` is host injection (program start).
+        """
+        if record.network_id == HOST_NWID:
+            # Results mailbox: charge the send at the source but deliver
+            # instantly — the host is outside the modeled machine.
+            self._push(t_issue, record)
+            self.stats.messages_sent += 1
+            return t_issue
+        dst_node = self.config.node_of(record.network_id)
+        t_deliver = self.network.deliver_time(
+            t_issue, src_node, dst_node, self.config.message_bytes
+        )
+        self._push(t_deliver, record)
+        self.stats.messages_sent += 1
+        if self.trace_enabled:
+            self.trace.append(
+                (
+                    t_issue,
+                    t_deliver,
+                    record.src_network_id,
+                    record.network_id,
+                    record.label,
+                )
+            )
+        if src_node is None or src_node == dst_node:
+            self.stats.messages_local += 1
+        else:
+            self.stats.messages_remote += 1
+        return t_deliver
+
+    def dram_transaction(
+        self,
+        response: Optional[MessageRecord],
+        t_issue: float,
+        src_node: int,
+        memory_node: int,
+        nbytes: int,
+        is_read: bool,
+        local_offset: int = 0,
+    ) -> float:
+        """Model one split-phase DRAM access; schedule ``response`` if given.
+
+        Returns the time the response (or write completion) lands back at
+        the requester.  Reads without a response record are disallowed —
+        the data has to go somewhere.
+        """
+        if is_read and response is None:
+            raise SimulationError("DRAM read requires a response record")
+        remote = src_node != memory_node
+        t_arrive = t_issue + (
+            self.network.latency(src_node, memory_node) if remote else 0.0
+        )
+        result = self.memory.access(
+            t_arrive, src_node, memory_node, nbytes, local_offset=local_offset
+        )
+        t_back = result.response_ready + (
+            self.network.latency(memory_node, src_node) if remote else 0.0
+        )
+        if is_read:
+            self.stats.dram_reads += 1
+            self.stats.dram_bytes_read += nbytes
+        else:
+            self.stats.dram_writes += 1
+            self.stats.dram_bytes_written += nbytes
+        if remote:
+            self.stats.dram_remote_accesses += 1
+        if response is not None:
+            self._push(t_back, response)
+        else:
+            # Fire-and-forget writes still occupy the machine until they
+            # land; the makespan must cover them.
+            self.stats.final_tick = max(self.stats.final_tick, t_back)
+        return t_back
+
+    def _push(self, time: float, record: MessageRecord) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, SimEvent(time, self._seq, record))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def inject(self, record: MessageRecord, t: float = 0.0) -> None:
+        """Host-side program start: deliver ``record`` without fabric cost."""
+        self._push(t, record)
+
+    def run(self, max_events: Optional[int] = None) -> SimStats:
+        """Drain the event heap; returns the accumulated statistics.
+
+        ``max_events`` guards against runaway programs in tests.
+        """
+        if self.dispatcher is None:
+            raise SimulationError("no dispatcher installed")
+        processed = 0
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            self.now = ev.time
+            rec = ev.record
+            if rec.network_id == HOST_NWID:
+                self.host_inbox.append((ev.time, rec))
+                self.stats.final_tick = max(self.stats.final_tick, ev.time)
+                continue
+            ln = self.lane(rec.network_id)
+            start = max(ev.time, ln.busy_until)
+            cycles = self.dispatcher(self, ln, rec, start)
+            end = ln.account_execution(start, cycles)
+            self.stats.events_executed += 1
+            self.stats.events_by_label[rec.label] += 1
+            self.stats.busy_cycles_by_lane[ln.network_id] += cycles
+            self.stats.final_tick = max(self.stats.final_tick, end)
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded max_events={max_events}"
+                )
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def host_messages(self, label: Optional[str] = None) -> List[MessageRecord]:
+        """Messages the program sent to the host, optionally by label."""
+        return [
+            rec
+            for _, rec in self.host_inbox
+            if label is None or rec.label == label
+        ]
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Simulated wall-clock: ``final_tick / clock`` (artifact appendix)."""
+        return self.config.cycles_to_seconds(self.stats.final_tick)

@@ -1,0 +1,68 @@
+"""Simulation statistics.
+
+Counters mirror what the authors' Fastsim reports (ticks, per-lane
+execution cycles, message counts) and what the artifact appendix extracts
+from the ``BASIM_PRINT`` / ``perflog.tsv`` logs: the benchmarks compute
+simulated seconds as ``ticks / 2 GHz``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    """Aggregate counters for one simulation run."""
+
+    messages_sent: int = 0
+    messages_local: int = 0
+    messages_remote: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+    dram_bytes_read: int = 0
+    dram_bytes_written: int = 0
+    dram_remote_accesses: int = 0
+    events_executed: int = 0
+    threads_created: int = 0
+    threads_terminated: int = 0
+    busy_cycles_by_lane: Dict[int, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    events_by_label: Dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    #: final simulated time in cycles (the makespan).
+    final_tick: float = 0.0
+
+    @property
+    def total_busy_cycles(self) -> float:
+        return sum(self.busy_cycles_by_lane.values())
+
+    def utilization(self, total_lanes: int) -> float:
+        """Mean lane utilization over the run's makespan in [0, 1]."""
+        if self.final_tick <= 0 or total_lanes <= 0:
+            return 0.0
+        return self.total_busy_cycles / (self.final_tick * total_lanes)
+
+    def active_lanes(self) -> int:
+        """Number of lanes that executed at least one event."""
+        return sum(1 for c in self.busy_cycles_by_lane.values() if c > 0)
+
+    def load_imbalance(self) -> float:
+        """Max/mean busy-cycle ratio over active lanes (1.0 = perfect)."""
+        busy = [c for c in self.busy_cycles_by_lane.values() if c > 0]
+        if not busy:
+            return 1.0
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean > 0 else 1.0
+
+    def summary(self) -> str:
+        return (
+            f"ticks={self.final_tick:.0f} events={self.events_executed} "
+            f"msgs={self.messages_sent} (remote {self.messages_remote}) "
+            f"dram r/w={self.dram_reads}/{self.dram_writes} "
+            f"threads +{self.threads_created}/-{self.threads_terminated}"
+        )

@@ -1,0 +1,18 @@
+"""Global address space: translation descriptors, DRAMmalloc, spMalloc."""
+
+from .drammalloc import GlobalMemory, MemoryError_, Region, WORD_BYTES
+from .spmalloc import DEFAULT_CAPACITY_WORDS, ScratchpadError, SpAllocator
+from .translation import MIN_BLOCK_SIZE, SwizzleDescriptor, TranslationError
+
+__all__ = [
+    "GlobalMemory",
+    "Region",
+    "MemoryError_",
+    "WORD_BYTES",
+    "SwizzleDescriptor",
+    "TranslationError",
+    "MIN_BLOCK_SIZE",
+    "SpAllocator",
+    "ScratchpadError",
+    "DEFAULT_CAPACITY_WORDS",
+]

@@ -1,0 +1,230 @@
+"""DRAMmalloc: the shared global memory manager (paper §2.4).
+
+``DRAMmalloc(size, first_node, nr_nodes, block_size)`` returns a region of
+contiguous virtual address space laid out block-cyclically across the
+distributed node memories, encoded as a single hardware translation
+descriptor.  Changing *one number* in the call changes the physical layout
+(the Figure 12 experiment does exactly this).
+
+In this functional simulation each region is backed by a NumPy array of
+64-bit *words* (all of the paper's data structures are 8-byte fields).
+The data lives host-side; the descriptor only decides **which node's memory
+channel pays** for each access — that is what produces placement-dependent
+performance.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.machine.config import MachineConfig
+
+from .translation import SwizzleDescriptor
+
+WORD_BYTES = 8
+
+
+class MemoryError_(RuntimeError):
+    """Allocation / access failure in the global memory manager."""
+
+
+class Region:
+    """One ``DRAMmalloc`` allocation: a descriptor plus backing words."""
+
+    def __init__(
+        self,
+        descriptor: SwizzleDescriptor,
+        dtype: np.dtype,
+        name: str,
+    ) -> None:
+        self.descriptor = descriptor
+        self.name = name
+        self.dtype = np.dtype(dtype)
+        self.freed = False
+        nwords = descriptor.size // WORD_BYTES
+        self.data = np.zeros(nwords, dtype=self.dtype)
+
+    # -- address arithmetic -------------------------------------------------
+
+    @property
+    def base(self) -> int:
+        return self.descriptor.base_va
+
+    @property
+    def size(self) -> int:
+        return self.descriptor.size
+
+    @property
+    def nwords(self) -> int:
+        return len(self.data)
+
+    def addr(self, word_index: int) -> int:
+        """Byte VA of word ``word_index`` (what you pass to DRAM intrinsics)."""
+        if not (0 <= word_index < self.nwords):
+            raise MemoryError_(
+                f"word index {word_index} out of range for region {self.name!r}"
+            )
+        return self.base + word_index * WORD_BYTES
+
+    def index_of(self, va: int) -> int:
+        """Word index of byte VA ``va`` within this region."""
+        off = va - self.base
+        if off < 0 or off >= self.size or off % WORD_BYTES:
+            raise MemoryError_(
+                f"VA {va:#x} is not a word address in region {self.name!r}"
+            )
+        return off // WORD_BYTES
+
+    # -- host-side (zero-cost) access for setup & verification --------------
+
+    def __getitem__(self, idx):
+        self._check_live()
+        return self.data[idx]
+
+    def __setitem__(self, idx, value) -> None:
+        self._check_live()
+        self.data[idx] = value
+
+    def _check_live(self) -> None:
+        if self.freed:
+            raise MemoryError_(f"use after free of region {self.name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        d = self.descriptor
+        return (
+            f"<Region {self.name!r} base={self.base:#x} size={self.size} "
+            f"nodes={d.first_node}+{d.nr_nodes} bs={d.block_size}>"
+        )
+
+
+class GlobalMemory:
+    """The machine's global address space: allocator + translation + data."""
+
+    #: Allocations start above zero so a zero VA is always invalid (null).
+    _BASE_VA = 1 << 20
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self._next_va = self._BASE_VA
+        self._bases: List[int] = []
+        self._regions: List[Region] = []
+        self._by_name: Dict[str, Region] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def dram_malloc(
+        self,
+        size: int,
+        first_node: int = 0,
+        nr_nodes: Optional[int] = None,
+        block_size: int = 4096,
+        dtype=np.int64,
+        name: Optional[str] = None,
+    ) -> Region:
+        """``DRAMmalloc(size, 1stNode, NRNodes, BS)`` (paper §2.4).
+
+        ``nr_nodes`` defaults to the largest power of two not exceeding the
+        machine's node count.  ``size`` is rounded up to a whole number of
+        words.
+        """
+        if size <= 0:
+            raise MemoryError_("allocation size must be positive")
+        if nr_nodes is None:
+            nr_nodes = 1 << (self.config.nodes.bit_length() - 1)
+        size = -(-size // WORD_BYTES) * WORD_BYTES
+        base = _align_up(self._next_va, block_size)
+        descriptor = SwizzleDescriptor(
+            base_va=base,
+            size=size,
+            first_node=first_node,
+            nr_nodes=nr_nodes,
+            block_size=block_size,
+            machine_nodes=self.config.nodes,
+            min_block_size=self.config.min_dram_block_bytes,
+        )
+        if name is None:
+            name = f"region{len(self._regions)}"
+        if name in self._by_name:
+            raise MemoryError_(f"region name {name!r} already in use")
+        region = Region(descriptor, dtype, name)
+        self._next_va = base + size
+        idx = bisect.bisect_right(self._bases, base)
+        self._bases.insert(idx, base)
+        self._regions.insert(idx, region)
+        self._by_name[name] = region
+        return region
+
+    def free(self, region: Region) -> None:
+        """Release a region.  The VA range is retired, never reused, so
+        dangling pointers fault deterministically."""
+        region.freed = True
+        region.data = np.zeros(0, dtype=region.dtype)
+
+    # ------------------------------------------------------------------
+    # Lookup & translation
+    # ------------------------------------------------------------------
+
+    def region_of(self, va: int) -> Region:
+        idx = bisect.bisect_right(self._bases, va) - 1
+        if idx >= 0:
+            region = self._regions[idx]
+            if region.descriptor.contains(va):
+                region._check_live()
+                return region
+        raise MemoryError_(f"VA {va:#x} is unmapped")
+
+    def region_named(self, name: str) -> Region:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise MemoryError_(f"no region named {name!r}") from None
+
+    def translate(self, va: int) -> Tuple[int, int]:
+        """VA -> (physical node, node-local offset) via the descriptor."""
+        return self.region_of(va).descriptor.translate(va)
+
+    def node_of(self, va: int) -> int:
+        return self.translate(va)[0]
+
+    @property
+    def num_descriptors(self) -> int:
+        """Live translation descriptors (paper: 2-4 for typical programs)."""
+        return sum(1 for r in self._regions if not r.freed)
+
+    # ------------------------------------------------------------------
+    # Word access (functional payload; timing handled by the simulator)
+    # ------------------------------------------------------------------
+
+    def read_words(self, va: int, nwords: int) -> tuple:
+        """Read ``nwords`` consecutive words starting at byte VA ``va``.
+
+        The whole access must fall inside one region (hardware requests do
+        not straddle descriptors).
+        """
+        region = self.region_of(va)
+        start = region.index_of(va)
+        if start + nwords > region.nwords:
+            raise MemoryError_(
+                f"read of {nwords} words at {va:#x} overruns region "
+                f"{region.name!r}"
+            )
+        return tuple(region.data[start : start + nwords].tolist())
+
+    def write_words(self, va: int, values) -> None:
+        region = self.region_of(va)
+        start = region.index_of(va)
+        n = len(values)
+        if start + n > region.nwords:
+            raise MemoryError_(
+                f"write of {n} words at {va:#x} overruns region {region.name!r}"
+            )
+        region.data[start : start + n] = values
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return -(-value // alignment) * alignment

@@ -1,0 +1,74 @@
+"""spMalloc: the lane-scratchpad allocator (paper Table 5 lists it at 83 LoC).
+
+Each lane owns a small scratchpad (primarily lane-private, poolable across
+the 64 lanes of an accelerator, paper §2.1.1).  This allocator hands out
+word-granular offsets from a per-lane arena with a simple bump pointer and
+whole-arena reset — the allocation pattern UpDown kernels actually use
+(allocate per phase, reset between phases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Default scratchpad capacity per lane, in 8-byte words (64 KB).
+DEFAULT_CAPACITY_WORDS = 8192
+
+
+class ScratchpadError(RuntimeError):
+    """Raised on scratchpad exhaustion or invalid requests."""
+
+
+@dataclass
+class LaneArena:
+    capacity_words: int
+    used_words: int = 0
+    allocations: int = 0
+
+
+class SpAllocator:
+    """Bump allocator over per-lane scratchpad arenas."""
+
+    def __init__(self, capacity_words: int = DEFAULT_CAPACITY_WORDS) -> None:
+        if capacity_words <= 0:
+            raise ScratchpadError("scratchpad capacity must be positive")
+        self.capacity_words = capacity_words
+        self._arenas: Dict[int, LaneArena] = {}
+
+    def _arena(self, network_id: int) -> LaneArena:
+        arena = self._arenas.get(network_id)
+        if arena is None:
+            arena = self._arenas[network_id] = LaneArena(self.capacity_words)
+        return arena
+
+    def sp_malloc(self, network_id: int, nwords: int) -> int:
+        """Allocate ``nwords`` on lane ``network_id``; returns the offset."""
+        if nwords <= 0:
+            raise ScratchpadError("allocation size must be positive")
+        arena = self._arena(network_id)
+        if arena.used_words + nwords > arena.capacity_words:
+            raise ScratchpadError(
+                f"lane {network_id} scratchpad exhausted "
+                f"({arena.used_words}+{nwords} > {arena.capacity_words} words)"
+            )
+        offset = arena.used_words
+        arena.used_words += nwords
+        arena.allocations += 1
+        return offset
+
+    def reset(self, network_id: int) -> None:
+        """Free the whole arena of one lane (phase boundary)."""
+        arena = self._arenas.get(network_id)
+        if arena is not None:
+            arena.used_words = 0
+
+    def used(self, network_id: int) -> int:
+        arena = self._arenas.get(network_id)
+        return arena.used_words if arena is not None else 0
+
+    def high_watermark(self) -> int:
+        """Largest per-lane usage seen (for capacity planning in tests)."""
+        if not self._arenas:
+            return 0
+        return max(a.used_words for a in self._arenas.values())

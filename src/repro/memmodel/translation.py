@@ -1,0 +1,132 @@
+"""Address translation: block-cyclic swizzle descriptors (paper §2.4).
+
+Each ``DRAMmalloc`` call is described by a single translation descriptor —
+the "swizzle mask" the UpDown hardware evaluates with no software overhead.
+Given a byte offset within the region, the descriptor computes:
+
+* the **physical node number** (PNN): blocks of ``block_size`` bytes are
+  dealt cyclically across ``nr_nodes`` nodes starting at ``first_node``;
+* the **offset** within that node: each node's share is itself contiguous
+  (the paper's "4KB interleaved, contiguous physical address space" per
+  node).
+
+The paper prints the arithmetic in shorthand (``PNN = size / BS / NRNodes``,
+``Offset = size % BS % NRNodes``); written out, for a byte offset ``o``::
+
+    block   = o // BS
+    PNN     = first_node + (block % NRNodes)
+    Offset  = (block // NRNodes) * BS + (o % BS)
+
+which is the standard block-cyclic distribution (HPF / ScaLAPACK) the
+paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Paper: block size is a power of 2 and at least 4 KB.
+MIN_BLOCK_SIZE = 4096
+
+
+class TranslationError(ValueError):
+    """Raised for invalid descriptor parameters or out-of-range addresses."""
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class SwizzleDescriptor:
+    """One hardware translation descriptor.
+
+    ``base_va`` and ``size`` delimit the virtual region; ``first_node``,
+    ``nr_nodes`` (power of 2) and ``block_size`` (power of 2, ≥ 4 KB on
+    the real machine) are the ``DRAMmalloc`` layout parameters.
+    ``machine_nodes`` bounds the node space so ``first_node + k`` wraps
+    around the machine, supporting Table 1's "middle 8K nodes" style
+    allocations.
+
+    ``min_block_size`` is the hardware's 4 KB floor by default; *scaled*
+    bench machines lower it proportionally so that a scaled hub neighbor
+    list still spans many blocks, as it does at full scale (see
+    DESIGN.md's calibration notes).
+    """
+
+    base_va: int
+    size: int
+    first_node: int
+    nr_nodes: int
+    block_size: int
+    machine_nodes: int
+    min_block_size: int = MIN_BLOCK_SIZE
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise TranslationError("region size must be positive")
+        if not _is_power_of_two(self.nr_nodes):
+            raise TranslationError(
+                f"NRNodes must be a power of 2, got {self.nr_nodes}"
+            )
+        if not _is_power_of_two(self.block_size):
+            raise TranslationError(
+                f"block size must be a power of 2, got {self.block_size}"
+            )
+        if self.block_size < self.min_block_size:
+            raise TranslationError(
+                f"block size must be >= {self.min_block_size}, "
+                f"got {self.block_size}"
+            )
+        if self.machine_nodes < 1:
+            raise TranslationError("machine must have nodes")
+        if self.nr_nodes > self.machine_nodes:
+            raise TranslationError(
+                f"NRNodes {self.nr_nodes} exceeds machine nodes "
+                f"{self.machine_nodes}"
+            )
+        if not (0 <= self.first_node < self.machine_nodes):
+            raise TranslationError(f"first node {self.first_node} out of range")
+        if self.base_va < 0:
+            raise TranslationError("base VA must be non-negative")
+
+    @property
+    def end_va(self) -> int:
+        return self.base_va + self.size
+
+    def contains(self, va: int) -> bool:
+        return self.base_va <= va < self.end_va
+
+    def translate(self, va: int) -> Tuple[int, int]:
+        """Virtual address -> ``(physical node, node-local offset)``."""
+        if not self.contains(va):
+            raise TranslationError(
+                f"VA {va:#x} outside region [{self.base_va:#x}, {self.end_va:#x})"
+            )
+        offset = va - self.base_va
+        block = offset // self.block_size
+        pnn = (self.first_node + (block % self.nr_nodes)) % self.machine_nodes
+        local = (block // self.nr_nodes) * self.block_size + (
+            offset % self.block_size
+        )
+        return pnn, local
+
+    def node_of(self, va: int) -> int:
+        return self.translate(va)[0]
+
+    def bytes_on_node(self, node: int) -> int:
+        """Total bytes of this region resident on ``node``."""
+        total = 0
+        nblocks = -(-self.size // self.block_size)  # ceil
+        for block in range(nblocks):
+            pnn = (self.first_node + (block % self.nr_nodes)) % self.machine_nodes
+            if pnn == node:
+                start = block * self.block_size
+                total += min(self.block_size, self.size - start)
+        return total
+
+    def nodes_used(self) -> int:
+        """Number of distinct nodes holding at least one block."""
+        nblocks = -(-self.size // self.block_size)
+        return min(nblocks, self.nr_nodes)

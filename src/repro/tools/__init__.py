@@ -1,0 +1,14 @@
+"""Command-line tools mirroring the artifact's binaries.
+
+The artifact appendix drives everything through small executables:
+``split_and_shuffle`` (PR/BFS preprocessing), a Python RMAT generator,
+``tsv`` (TC preprocessing), and per-application run commands taking a
+graph and a node count.  Each has an equivalent here:
+
+* ``python -m repro.tools.rmat -s 10 -o rmat-s10.txt``
+* ``python -m repro.tools.split_and_shuffle -f graph.txt -m 512 -d -s``
+* ``python -m repro.tools.tsv graph.txt prefix``
+* ``python -m repro.tools.pagerank <prefix> <nodes> [iters]``
+* ``python -m repro.tools.bfs <prefix> <nodes> [root]``
+* ``python -m repro.tools.tc <prefix> <nodes>``
+"""

@@ -1,0 +1,68 @@
+"""BFS run CLI (artifact Listing 11).
+
+The artifact: ``./bfs_udweave <graph> <lanes> <accel> <root_VID> <mem>``.
+Here::
+
+    python -m repro.tools.bfs <prefix> <nodes> [--root R] [--mem-nodes M]
+        [--max-degree D] [--verify]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.bfs import BFSApp
+from repro.baselines import bfs as reference_bfs, validate_parents
+from repro.harness.runner import BENCH_BLOCK_SIZE, bench_config
+from repro.udweave import UpDownRuntime
+
+from .common import load_prefix_as_graph
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro.tools.bfs")
+    p.add_argument("prefix", type=Path)
+    p.add_argument("nodes", type=int)
+    p.add_argument("--root", type=int, default=0)
+    p.add_argument("--mem-nodes", type=int, default=None)
+    p.add_argument("--max-degree", type=int, default=128)
+    p.add_argument("--verify", action="store_true")
+    return p
+
+
+def main(argv=None) -> float:
+    args = build_parser().parse_args(argv)
+    graph, _meta = load_prefix_as_graph(args.prefix)
+    runtime = UpDownRuntime(bench_config(args.nodes))
+    app = BFSApp(
+        runtime,
+        graph,
+        max_degree=args.max_degree,
+        mem_nodes=args.mem_nodes,
+        block_size=BENCH_BLOCK_SIZE,
+    )
+    result = app.run(root=args.root)
+    print(runtime.udlog.format_log())
+    seconds = runtime.udlog.seconds_between("BFS Start", "BFS finish")
+    print(
+        f"simulated time: {seconds:.6f} s  rounds={result.rounds} "
+        f"traversed={result.traversed_edges} "
+        f"({result.giga_teps:.4f} GTEPS)"
+    )
+    if args.verify:
+        dist, _parent = reference_bfs(graph, args.root)
+        if not np.array_equal(result.distances, dist):
+            raise SystemExit("distance mismatch vs oracle")
+        if not validate_parents(
+            graph, args.root, result.distances, result.parents
+        ):
+            raise SystemExit("invalid parent tree")
+        print("verified against the reference BFS")
+    return seconds
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

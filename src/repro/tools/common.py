@@ -1,0 +1,81 @@
+"""Shared helpers for the artifact-style CLI tools."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+def read_edge_list(
+    path: Path, skip_lines: int = 0
+) -> np.ndarray:
+    """Parse a plain-text edge list (one ``src dst`` pair per line,
+    whitespace- or tab-separated), skipping ``skip_lines`` header lines
+    and ``#`` comments — the artifact's raw-graph format."""
+    edges = []
+    with open(path) as fh:
+        for i, line in enumerate(fh):
+            if i < skip_lines:
+                continue
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.replace(",", " ").split()
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{i + 1}: not an edge: {line!r}")
+            edges.append((int(parts[0]), int(parts[1])))
+    if not edges:
+        raise ValueError(f"{path}: no edges found")
+    return np.asarray(edges, dtype=np.int64)
+
+
+def write_edge_list(path: Path, edges: np.ndarray) -> None:
+    with open(path, "w") as fh:
+        for s, d in edges:
+            fh.write(f"{s}\t{d}\n")
+
+
+def graph_stats_line(tag: str, graph: CSRGraph) -> str:
+    degs = graph.degrees
+    return (
+        f"[{tag}] vertices={graph.n} edges={graph.m} "
+        f"max_degree={graph.max_degree} "
+        f"avg_degree={degs.mean():.2f}"
+    )
+
+
+def load_prefix_as_graph(prefix: Path) -> Tuple[CSRGraph, dict]:
+    """Load a ``*_gv.bin``/``*_nl.bin`` pair back into a host graph.
+
+    Split binaries are un-split: sub-vertex edges are re-attributed to
+    their representative original vertex, reconstructing the graph the
+    application semantics are defined on (the apps re-split with their
+    own max-degree parameter, exactly like re-running the artifact's
+    pipeline)."""
+    from repro.graph.io import csr_from_records, load_graph
+
+    records, neighbors, meta = load_graph(prefix)
+    split_csr = csr_from_records(records, neighbors)
+    if meta.get("max_degree") is None and meta["n"] == meta["n_orig"]:
+        return split_csr, meta
+    reps = records[:, 0]
+    edges = np.column_stack(
+        [
+            np.repeat(reps, records[:, 1]),
+            neighbors,
+        ]
+    )
+    graph = CSRGraph.from_edges(
+        edges, n=meta["n_orig"], dedup=False, drop_self_loops=False
+    )
+    return graph, meta
+
+
+def die(message: str) -> None:  # pragma: no cover - CLI error path
+    print(f"error: {message}", file=sys.stderr)
+    raise SystemExit(2)

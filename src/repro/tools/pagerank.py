@@ -1,0 +1,67 @@
+"""PageRank run CLI (artifact Listing 10).
+
+The artifact: ``./pagerankMSRdramalloc <graph> <nodes> <accel> <part>
+<mem>``.  Here::
+
+    python -m repro.tools.pagerank <prefix> <nodes> \\
+        [--iterations N] [--mem-nodes M] [--max-degree D] [--verify]
+
+Prints the BASIM_PRINT log markers and the artifact's timing extraction
+(``(t_terminate - t_init) / 2e9``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.pagerank import PageRankApp
+from repro.baselines import pagerank as reference_pagerank
+from repro.harness.runner import BENCH_BLOCK_SIZE, bench_config
+from repro.udweave import UpDownRuntime
+
+from .common import load_prefix_as_graph
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro.tools.pagerank")
+    p.add_argument("prefix", type=Path, help="gv/nl binary prefix")
+    p.add_argument("nodes", type=int, help="UpDown node count")
+    p.add_argument("--iterations", type=int, default=1)
+    p.add_argument("--mem-nodes", type=int, default=None,
+                   help="NRnodes for DRAMmalloc (Figure 12 sweeps)")
+    p.add_argument("--max-degree", type=int, default=64)
+    p.add_argument("--verify", action="store_true",
+                   help="check ranks against the NumPy oracle")
+    return p
+
+
+def main(argv=None) -> float:
+    args = build_parser().parse_args(argv)
+    graph, _meta = load_prefix_as_graph(args.prefix)
+    runtime = UpDownRuntime(bench_config(args.nodes))
+    app = PageRankApp(
+        runtime,
+        graph,
+        max_degree=args.max_degree,
+        mem_nodes=args.mem_nodes,
+        block_size=BENCH_BLOCK_SIZE,
+    )
+    result = app.run(iterations=args.iterations)
+    print(runtime.udlog.format_log())
+    seconds = runtime.udlog.seconds_between("updown_init", "updown_terminate")
+    print(f"simulated time: {seconds:.6f} s "
+          f"({result.giga_updates_per_second:.4f} GUPS)")
+    if args.verify:
+        expected = reference_pagerank(graph, args.iterations)
+        err = float(np.abs(result.ranks - expected).max())
+        print(f"max |error| vs oracle: {err:.2e}")
+        if err > 1e-9:
+            raise SystemExit(1)
+    return seconds
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

@@ -1,0 +1,57 @@
+"""RMAT generator CLI (artifact Listing 8).
+
+The artifact: ``python rmat_generator.py -s <scale>`` with
+a=0.57, b=0.19, c=0.19 and edge factor 16.
+
+Usage::
+
+    python -m repro.tools.rmat -s 10 [-e 16] [--seed 48] [-o out.txt]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.graph.generators import (
+    DEFAULT_EDGE_FACTOR,
+    RMAT_A,
+    RMAT_B,
+    RMAT_C,
+    rmat_edges,
+)
+
+from .common import write_edge_list
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro.tools.rmat",
+        description="RMAT edge-list generator (Graph Challenge parameters)",
+    )
+    p.add_argument("-s", "--scale", type=int, required=True,
+                   help="log2 of the vertex count")
+    p.add_argument("-e", "--edge-factor", type=int,
+                   default=DEFAULT_EDGE_FACTOR)
+    p.add_argument("--seed", type=int, default=48)
+    p.add_argument("-a", type=float, default=RMAT_A)
+    p.add_argument("-b", type=float, default=RMAT_B)
+    p.add_argument("-c", type=float, default=RMAT_C)
+    p.add_argument("-o", "--output", type=Path, default=None,
+                   help="output edge-list path (default rmat-s<scale>.txt)")
+    return p
+
+
+def main(argv=None) -> Path:
+    args = build_parser().parse_args(argv)
+    edges = rmat_edges(
+        args.scale, args.edge_factor, args.a, args.b, args.c, args.seed
+    )
+    out = args.output or Path(f"rmat-s{args.scale}.txt")
+    write_edge_list(out, edges)
+    print(f"wrote {len(edges)} edges ({1 << args.scale} vertices) to {out}")
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

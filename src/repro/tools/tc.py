@@ -1,0 +1,55 @@
+"""Triangle-count run CLI (artifact Listing 12).
+
+The artifact: ``./three_clique_count_mm_global <gv> <nl> <u> <t> <m>``.
+Here::
+
+    python -m repro.tools.tc <prefix> <nodes> [--pbmw] [--verify]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.apps.triangle import TriangleCountApp
+from repro.baselines import triangle_count
+from repro.harness.runner import BENCH_BLOCK_SIZE, bench_config
+from repro.udweave import UpDownRuntime
+
+from .common import load_prefix_as_graph
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro.tools.tc")
+    p.add_argument("prefix", type=Path)
+    p.add_argument("nodes", type=int)
+    p.add_argument("--pbmw", action="store_true",
+                   help="use the PBMW map binding variant (§4.3.3)")
+    p.add_argument("--verify", action="store_true")
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    graph, _meta = load_prefix_as_graph(args.prefix)
+    runtime = UpDownRuntime(bench_config(args.nodes))
+    app = TriangleCountApp(
+        runtime, graph, pbmw=args.pbmw, block_size=BENCH_BLOCK_SIZE
+    )
+    result = app.run()
+    print(
+        f"result: {result.triangles} triangles in "
+        f"{result.elapsed_seconds:.6f} simulated seconds"
+    )
+    if args.verify:
+        expected = triangle_count(graph)
+        if result.triangles != expected:
+            raise SystemExit(
+                f"triangle count mismatch: {result.triangles} != {expected}"
+            )
+        print("verified against the sparse-matrix oracle")
+    return result.triangles
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

@@ -1,0 +1,31 @@
+"""UDWeave: fine-grained, small-scale parallelism (paper §2.1).
+
+An embedded-Python rendering of the UDWeave language: thread classes with
+``@event`` handlers, event words, continuations, split-phase DRAM access,
+and software-directed thread management, all cost-modeled per Table 2.
+"""
+
+from .context import IGNRCONT, MAX_DRAM_READ_WORDS, LaneContext, UDWeaveError
+from .eventword import EventWordError, decode, encode, with_label
+from .program import Program, ProgramError
+from .runtime import UpDownRuntime
+from .thread import UDThread, event
+from .udlog import LogEntry, UDLog
+
+__all__ = [
+    "UDThread",
+    "event",
+    "Program",
+    "ProgramError",
+    "UpDownRuntime",
+    "LaneContext",
+    "UDWeaveError",
+    "IGNRCONT",
+    "MAX_DRAM_READ_WORDS",
+    "UDLog",
+    "LogEntry",
+    "encode",
+    "decode",
+    "with_label",
+    "EventWordError",
+]

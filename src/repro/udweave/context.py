@@ -1,0 +1,365 @@
+"""LaneContext: the UDWeave intrinsics available inside an event handler.
+
+One context exists per event activation.  It charges lane cycles (Table 2)
+for every intrinsic, timestamps outgoing messages at the issue point within
+the event, and implements the paper's §2.1.2 intrinsics:
+
+* ``evw_new(networkID, label)`` — event word for a new thread on a lane;
+* ``evw_update_event(evw, label)`` — re-label an event word;
+* ``send_event(evw, *operands, cont=...)`` — message send / task creation;
+* ``send_dram_read`` / ``send_dram_write`` — split-phase global memory;
+* ``yield_()`` / ``yield_terminate()`` — software thread management.
+
+Functional-simulation note: DRAM payload data is read/written when the
+request *issues*; only the timing flows through the memory model.  UpDown
+imposes no global memory ordering either, so correct programs (like all the
+apps in this repo) must not rely on racing accesses — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Union
+
+from repro.machine.events import MessageRecord
+from repro.machine.lane import Lane
+
+from . import eventword
+from .thread import UDThread
+
+#: Continuation sentinel: "no continuation" (paper's IGNRCONT).
+IGNRCONT = None
+
+#: Max words per split-phase DRAM read: responses arrive in operand
+#: registers, of which there are eight (paper reads neighbors in groups
+#: of 8 for exactly this reason).
+MAX_DRAM_READ_WORDS = 8
+
+LabelLike = Union[str, int]
+
+
+class UDWeaveError(RuntimeError):
+    """Raised for programming errors in UDWeave application code."""
+
+
+class LaneContext:
+    """Execution context of one event activation on one lane."""
+
+    __slots__ = (
+        "runtime",
+        "sim",
+        "lane",
+        "thread",
+        "tid",
+        "record",
+        "start",
+        "cycles",
+        "yielded",
+        "terminated",
+    )
+
+    def __init__(
+        self,
+        runtime: "UpDownRuntime",  # noqa: F821 - runtime.py imports us
+        lane: Lane,
+        thread: UDThread,
+        tid: int,
+        record: MessageRecord,
+        start: float,
+    ) -> None:
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.lane = lane
+        self.thread = thread
+        self.tid = tid
+        self.record = record
+        self.start = start
+        self.cycles: float = float(runtime.config.costs.event_dispatch)
+        self.yielded = False
+        self.terminated = False
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    @property
+    def network_id(self) -> int:
+        """The current lane's networkID (the paper's ``curNetworkID``)."""
+        return self.lane.network_id
+
+    @property
+    def node(self) -> int:
+        return self.lane.node
+
+    @property
+    def accel(self) -> int:
+        return self.lane.accel
+
+    @property
+    def time(self) -> float:
+        """Current simulated time within this event (cycles)."""
+        return self.start + self.cycles
+
+    @property
+    def config(self):
+        return self.runtime.config
+
+    # ------------------------------------------------------------------
+    # Event words (paper §2.1.2 intrinsics)
+    # ------------------------------------------------------------------
+
+    @property
+    def cevnt(self) -> int:
+        """Event word of the *current* event (the paper's ``CEVNT``)."""
+        return eventword.encode(
+            self.lane.network_id,
+            self.runtime.label_id(self.record.label),
+            thread=self.tid,
+        )
+
+    @property
+    def ccont(self) -> Optional[int]:
+        """The incoming continuation word (the paper's ``CCONT``)."""
+        return self.record.continuation
+
+    def evw_new(self, network_id: int, label: LabelLike) -> int:
+        """Event word for event ``label`` on a *new* thread at ``network_id``."""
+        return eventword.encode(
+            network_id, self.runtime.resolve_label_id(label, self.thread)
+        )
+
+    def evw_update_event(self, evw: int, label: LabelLike) -> int:
+        """Re-label an event word; thread context and lane are unchanged."""
+        return eventword.with_label(
+            evw, self.runtime.resolve_label_id(label, self.thread)
+        )
+
+    def self_evw(self, label: LabelLike) -> int:
+        """Event word addressing *this* thread at another of its events
+        (the common ``evw_update_event(CEVNT, label)`` idiom)."""
+        return eventword.encode(
+            self.lane.network_id,
+            self.runtime.resolve_label_id(label, self.thread),
+            thread=self.tid,
+        )
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+
+    def send_event(
+        self,
+        evw: Optional[int],
+        *operands: Any,
+        cont: Optional[int] = IGNRCONT,
+        delay: float = 0.0,
+    ) -> None:
+        """Send a message (create a task / invoke an event) — ``send_event``.
+
+        ``evw=None`` (an ignored continuation) is a silent no-op so reply
+        sites need not branch on whether a caller wanted an answer.
+
+        ``delay`` holds the message back by that many cycles before it
+        enters the fabric — the simulation rendering of a software delay
+        loop (used by KVMSR's quiescence re-polls).  The issuing lane is
+        modeled as free during the delay; see DESIGN.md.
+        """
+        if evw is None:
+            return
+        if delay < 0:
+            raise UDWeaveError("send delay cannot be negative")
+        costs = self.config.costs
+        self.cycles += (
+            costs.send_message_with_cont if cont is not None else costs.send_message
+        )
+        record = self.runtime.record_for(
+            evw, operands, cont, src_network_id=self.lane.network_id
+        )
+        self.sim.send(record, self.time + delay, src_node=self.lane.node)
+
+    def send_reply(self, *operands: Any, cont: Optional[int] = IGNRCONT) -> None:
+        """Send to the incoming continuation (no-op when IGNRCONT)."""
+        self.send_event(self.ccont, *operands, cont=cont)
+
+    def spawn(
+        self,
+        network_id: int,
+        label: LabelLike,
+        *operands: Any,
+        cont: Optional[int] = IGNRCONT,
+    ) -> None:
+        """Sugar: ``send_event(evw_new(network_id, label), ...)``."""
+        self.send_event(self.evw_new(network_id, label), *operands, cont=cont)
+
+    # ------------------------------------------------------------------
+    # Global memory (split-phase)
+    # ------------------------------------------------------------------
+
+    def send_dram_read(
+        self,
+        va: int,
+        nwords: int,
+        return_label: LabelLike,
+        tag: Any = None,
+    ) -> None:
+        """Issue a split-phase DRAM read of ``nwords`` ≤ 8 words at ``va``.
+
+        The response is delivered to *this thread* at ``return_label`` with
+        the word values as operands (prefixed by ``tag`` when given, so a
+        thread with several outstanding reads can tell them apart).
+        """
+        if not (1 <= nwords <= MAX_DRAM_READ_WORDS):
+            raise UDWeaveError(
+                f"DRAM reads move 1..{MAX_DRAM_READ_WORDS} words, got {nwords}"
+            )
+        costs = self.config.costs
+        self.cycles += costs.send_dram_with_cont
+        gmem = self.runtime.gmem
+        mem_node, local_offset = gmem.translate(va)
+        values = gmem.read_words(va, nwords)
+        operands = values if tag is None else (tag, *values)
+        response = MessageRecord(
+            network_id=self.lane.network_id,
+            thread=self.tid,
+            label=self.runtime.label_name(
+                self.runtime.resolve_label_id(return_label, self.thread)
+            ),
+            operands=operands,
+            continuation=None,
+            src_network_id=self.lane.network_id,
+            kind="dram",
+        )
+        self.sim.dram_transaction(
+            response,
+            self.time,
+            src_node=self.lane.node,
+            memory_node=mem_node,
+            nbytes=nwords * 8,
+            is_read=True,
+            local_offset=local_offset,
+        )
+
+    def send_dram_write(
+        self,
+        va: int,
+        values: Sequence[Any],
+        ack_label: Optional[LabelLike] = None,
+        tag: Any = None,
+    ) -> None:
+        """Issue a split-phase DRAM write; optional completion ack event."""
+        if len(values) < 1:
+            raise UDWeaveError("DRAM write needs at least one word")
+        costs = self.config.costs
+        self.cycles += (
+            costs.send_dram_with_cont if ack_label is not None else costs.send_dram
+        )
+        gmem = self.runtime.gmem
+        mem_node, local_offset = gmem.translate(va)
+        gmem.write_words(va, list(values))
+        response = None
+        if ack_label is not None:
+            response = MessageRecord(
+                network_id=self.lane.network_id,
+                thread=self.tid,
+                label=self.runtime.label_name(
+                    self.runtime.resolve_label_id(ack_label, self.thread)
+                ),
+                operands=() if tag is None else (tag,),
+                continuation=None,
+                src_network_id=self.lane.network_id,
+                kind="dram",
+            )
+        self.sim.dram_transaction(
+            response,
+            self.time,
+            src_node=self.lane.node,
+            memory_node=mem_node,
+            nbytes=len(values) * 8,
+            is_read=False,
+            local_offset=local_offset,
+        )
+
+    # ------------------------------------------------------------------
+    # Scratchpad
+    # ------------------------------------------------------------------
+
+    def sp_read(self, key: Any, default: Any = None) -> Any:
+        """Load from the lane-private scratchpad (1 cycle)."""
+        self.cycles += self.config.costs.scratchpad_access
+        return self.lane.scratchpad.get(key, default)
+
+    def sp_write(self, key: Any, value: Any) -> None:
+        """Store to the lane-private scratchpad (1 cycle)."""
+        self.cycles += self.config.costs.scratchpad_access
+        self.lane.scratchpad[key] = value
+
+    def sp_malloc(self, nwords: int) -> int:
+        """Reserve scratchpad words on this lane (see spMalloc)."""
+        return self.runtime.spalloc.sp_malloc(self.lane.network_id, nwords)
+
+    # -- accelerator-pooled scratchpad (§2.1.1: "primarily lane private,
+    # but can be pooled among the 64 lanes in a UpDown accelerator") -----
+
+    POOLED_ACCESS_CYCLES = 3
+
+    def _pooled_lane(self, lane_in_accel: int) -> "Lane":
+        cfg = self.config
+        if not (0 <= lane_in_accel < cfg.lanes_per_accel):
+            raise UDWeaveError(
+                f"pooled scratchpad index {lane_in_accel} outside the "
+                f"accelerator's {cfg.lanes_per_accel} lanes"
+            )
+        nwid = cfg.first_lane_of_accel(self.lane.accel) + lane_in_accel
+        return self.sim.lane(nwid)
+
+    def sp_read_pooled(self, lane_in_accel: int, key: Any, default: Any = None):
+        """Load from a sibling lane's scratchpad within this accelerator.
+
+        Costs a few cycles (on-chip crossbar) instead of the 1-cycle
+        private access.  Reads race with the sibling's own writes exactly
+        as on hardware; use for read-mostly pooled state."""
+        self.cycles += self.POOLED_ACCESS_CYCLES
+        return self._pooled_lane(lane_in_accel).scratchpad.get(key, default)
+
+    def sp_write_pooled(self, lane_in_accel: int, key: Any, value: Any) -> None:
+        """Store into a sibling lane's scratchpad within this accelerator."""
+        self.cycles += self.POOLED_ACCESS_CYCLES
+        self._pooled_lane(lane_in_accel).scratchpad[key] = value
+
+    # ------------------------------------------------------------------
+    # Compute & thread management
+    # ------------------------------------------------------------------
+
+    def ud_print(self, message: str) -> None:
+        """Emit a BASIM_PRINT-style log line (artifact appendix).
+
+        Free of simulated cost (the real simulator's prints are host-side
+        too); entries carry the current tick, lane, thread, and event
+        label, and are collected on ``runtime.udlog``.
+        """
+        self.runtime.udlog.emit(
+            self.time,
+            self.lane.network_id,
+            self.tid,
+            self.record.label,
+            message,
+        )
+
+    def work(self, instructions: float) -> None:
+        """Charge ``instructions`` of straight-line compute to this event."""
+        if instructions < 0:
+            raise UDWeaveError("cannot charge negative work")
+        self.cycles += instructions * self.config.costs.instruction
+
+    def yield_(self) -> None:
+        """End the event, preserving the thread (paper's ``yield``)."""
+        if self.yielded or self.terminated:
+            raise UDWeaveError("event already ended")
+        self.cycles += self.config.costs.thread_yield
+        self.yielded = True
+
+    def yield_terminate(self) -> None:
+        """End the event and deallocate the thread (``yield_terminate``)."""
+        if self.yielded or self.terminated:
+            raise UDWeaveError("event already ended")
+        self.cycles += self.config.costs.thread_deallocate
+        self.terminated = True

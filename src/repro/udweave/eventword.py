@@ -1,0 +1,119 @@
+"""Event words: the 64-bit values that name computation locations.
+
+Paper §2.1.1: *"An event executes in a computation location, called a lane
+and identifiable by a network ID, and has a thread context ID.  Static
+properties include the number of operands and the event label.  Altogether,
+they form a 64-bit value called the event word."*
+
+Bit layout (64 bits total)::
+
+    [63:62]  flags      (NEW_THREAD marker, HOST marker)
+    [61:46]  thread     (16-bit thread context ID on the target lane)
+    [45:32]  reserved   (operand-count hint; informational)
+    [31:16]  label      (16-bit event-label ID from the program registry)
+    [15:0]   --
+    [31:0]   is actually split: networkID occupies [25:0]
+
+Concretely we pack: ``flags(2) | thread(16) | label(16) | networkID(30)``.
+30 bits of networkID covers the full 33 M-lane machine with headroom.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+_NWID_BITS = 30
+_LABEL_BITS = 16
+_THREAD_BITS = 16
+
+_NWID_MASK = (1 << _NWID_BITS) - 1
+_LABEL_MASK = (1 << _LABEL_BITS) - 1
+_THREAD_MASK = (1 << _THREAD_BITS) - 1
+
+_LABEL_SHIFT = _NWID_BITS
+_THREAD_SHIFT = _NWID_BITS + _LABEL_BITS
+_FLAG_SHIFT = _NWID_BITS + _LABEL_BITS + _THREAD_BITS
+
+#: flag values
+FLAG_NEW_THREAD = 0b01
+FLAG_HOST = 0b10
+
+#: thread-selector sentinel mirroring :data:`repro.machine.events.NEW_THREAD`
+NEW_THREAD_SENTINEL = _THREAD_MASK
+
+MAX_NETWORK_ID = _NWID_MASK
+MAX_LABEL_ID = _LABEL_MASK
+MAX_THREAD_ID = _THREAD_MASK - 1  # top value is the NEW_THREAD sentinel
+
+
+class EventWordError(ValueError):
+    """Raised for out-of-range fields or malformed event words."""
+
+
+def encode(
+    network_id: int,
+    label_id: int,
+    thread: int | None = None,
+    host: bool = False,
+) -> int:
+    """Pack an event word.
+
+    ``thread=None`` requests a *new* thread at the target lane
+    (``evw_new`` semantics); a concrete thread ID addresses an existing
+    thread context.  ``host=True`` marks the host mailbox pseudo-target.
+    """
+    if not (0 <= network_id <= MAX_NETWORK_ID):
+        raise EventWordError(f"networkID {network_id} out of range")
+    if not (0 <= label_id <= MAX_LABEL_ID):
+        raise EventWordError(f"label id {label_id} out of range")
+    flags = 0
+    if thread is None:
+        tfield = NEW_THREAD_SENTINEL
+        flags |= FLAG_NEW_THREAD
+    else:
+        if not (0 <= thread <= MAX_THREAD_ID):
+            raise EventWordError(f"thread id {thread} out of range")
+        tfield = thread
+    if host:
+        flags |= FLAG_HOST
+    return (
+        (flags << _FLAG_SHIFT)
+        | (tfield << _THREAD_SHIFT)
+        | (label_id << _LABEL_SHIFT)
+        | network_id
+    )
+
+
+def decode(evw: int) -> Tuple[int, int, int | None, bool]:
+    """Unpack ``(network_id, label_id, thread_or_None, is_host)``."""
+    if evw < 0 or evw >= (1 << 64):
+        raise EventWordError(f"event word {evw:#x} is not a 64-bit value")
+    network_id = evw & _NWID_MASK
+    label_id = (evw >> _LABEL_SHIFT) & _LABEL_MASK
+    tfield = (evw >> _THREAD_SHIFT) & _THREAD_MASK
+    flags = evw >> _FLAG_SHIFT
+    thread: int | None
+    if flags & FLAG_NEW_THREAD:
+        thread = None
+    else:
+        thread = tfield
+    return network_id, label_id, thread, bool(flags & FLAG_HOST)
+
+
+def with_label(evw: int, new_label_id: int) -> int:
+    """``evw_update_event``: replace the label, keep every other field.
+
+    Paper §2.1.2: *"returns an event word with the new event name, other
+    fields (e.g., thread context ID) remain unchanged."*
+    """
+    if not (0 <= new_label_id <= MAX_LABEL_ID):
+        raise EventWordError(f"label id {new_label_id} out of range")
+    return (evw & ~(_LABEL_MASK << _LABEL_SHIFT)) | (new_label_id << _LABEL_SHIFT)
+
+
+def network_id_of(evw: int) -> int:
+    return evw & _NWID_MASK
+
+
+def label_id_of(evw: int) -> int:
+    return (evw >> _LABEL_SHIFT) & _LABEL_MASK

@@ -1,0 +1,224 @@
+"""UpDownRuntime: glue between the machine simulator and UDWeave programs.
+
+The runtime owns the simulator, the program image (label registry), the
+global memory manager, and the scratchpad allocator, and installs itself as
+the simulator's dispatcher: every delivered message is resolved to a thread
+object and an event handler, executed atomically, and charged per Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.machine.config import MachineConfig
+from repro.machine.events import HOST_NWID, NEW_THREAD, MessageRecord
+from repro.machine.lane import Lane
+from repro.machine.simulator import Simulator
+from repro.machine.stats import SimStats
+from repro.memmodel.drammalloc import GlobalMemory
+from repro.memmodel.spmalloc import SpAllocator
+
+from . import eventword
+from .context import IGNRCONT, LaneContext, UDWeaveError
+from .program import Program, ProgramError
+from .thread import UDThread
+from .udlog import UDLog
+
+LabelLike = Union[str, int]
+
+
+class UpDownRuntime:
+    """One simulated UpDown machine ready to execute UDWeave programs."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        program: Optional[Program] = None,
+        sp_capacity_words: int = 8192,
+        latency_jitter_cycles: float = 0.0,
+        seed: int = 0,
+        memory_banks_per_node: int = 1,
+    ) -> None:
+        self.config = config
+        self.program = program if program is not None else Program()
+        self.sim = Simulator(
+            config,
+            dispatcher=self._dispatch,
+            latency_jitter_cycles=latency_jitter_cycles,
+            seed=seed,
+            memory_banks_per_node=memory_banks_per_node,
+        )
+        self.gmem = GlobalMemory(config)
+        self.spalloc = SpAllocator(sp_capacity_words)
+        self.udlog = UDLog()
+        #: host mailbox labels live in their own namespace (they are not
+        #: program events; they terminate at the simulation host).
+        self._host_labels: Dict[str, int] = {}
+        self._host_label_names: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Program construction
+    # ------------------------------------------------------------------
+
+    def register(self, thread_cls: type) -> type:
+        """Register a thread class (usable as a decorator)."""
+        return self.program.register(thread_cls)
+
+    def dram_malloc(self, *args, **kwargs):
+        """Convenience passthrough to :meth:`GlobalMemory.dram_malloc`."""
+        return self.gmem.dram_malloc(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Label resolution
+    # ------------------------------------------------------------------
+
+    def label_id(self, label: str) -> int:
+        return self.program.label_id(label)
+
+    def label_name(self, label_id: int) -> str:
+        return self.program.label_name(label_id)
+
+    def resolve_label_id(
+        self, label: LabelLike, context_thread: Optional[UDThread] = None
+    ) -> int:
+        """Resolve a label reference to its integer ID.
+
+        Accepts an integer ID, a fully-qualified ``"Class::event"`` string,
+        or a bare event name resolved against ``context_thread``'s class
+        (walking the MRO, so shared base-class events resolve too).
+        """
+        if isinstance(label, int):
+            self.program.label_name(label)  # validates
+            return label
+        if "::" in label:
+            return self.program.label_id(label)
+        if context_thread is None:
+            raise ProgramError(
+                f"bare event name {label!r} needs a thread context to resolve"
+            )
+        for klass in type(context_thread).__mro__:
+            try:
+                return self.program.label_id(f"{klass.__name__}::{label}")
+            except ProgramError:
+                continue
+        raise ProgramError(
+            f"event {label!r} not registered for "
+            f"{type(context_thread).__name__} or its bases"
+        )
+
+    def evw(
+        self, network_id: int, label: str, thread: Optional[int] = None
+    ) -> int:
+        """Host-side event-word construction (program start, tests)."""
+        return eventword.encode(network_id, self.program.label_id(label), thread)
+
+    def host_evw(self, tag: str = "done") -> int:
+        """An event word that delivers to the host mailbox under ``tag``.
+
+        Programs use it as a completion continuation; the host reads
+        results via :meth:`host_messages`.
+        """
+        label_id = self._host_labels.get(tag)
+        if label_id is None:
+            label_id = len(self._host_label_names)
+            self._host_labels[tag] = label_id
+            self._host_label_names.append(tag)
+        return eventword.encode(0, label_id, thread=0, host=True)
+
+    # ------------------------------------------------------------------
+    # Message fabrication
+    # ------------------------------------------------------------------
+
+    def record_for(
+        self,
+        evw: int,
+        operands: Tuple[Any, ...],
+        cont: Optional[int],
+        src_network_id: Optional[int],
+    ) -> MessageRecord:
+        """Build the wire record for a send to event word ``evw``."""
+        network_id, label_id, thread, is_host = eventword.decode(evw)
+        if is_host:
+            return MessageRecord(
+                network_id=HOST_NWID,
+                thread=0,
+                label=self._host_label_names[label_id],
+                operands=operands,
+                continuation=cont,
+                src_network_id=src_network_id,
+            )
+        return MessageRecord(
+            network_id=network_id,
+            thread=NEW_THREAD if thread is None else thread,
+            label=self.program.label_name(label_id),
+            operands=operands,
+            continuation=cont,
+            src_network_id=src_network_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Program start & execution
+    # ------------------------------------------------------------------
+
+    def start(
+        self,
+        network_id: int,
+        label: str,
+        *operands: Any,
+        cont: Optional[int] = IGNRCONT,
+        t: float = 0.0,
+    ) -> None:
+        """Host-injected program start: create a thread and run ``label``."""
+        record = self.record_for(
+            self.evw(network_id, label), operands, cont, src_network_id=None
+        )
+        self.sim.inject(record, t)
+
+    def run(self, max_events: Optional[int] = None) -> SimStats:
+        """Run to quiescence; returns machine statistics."""
+        return self.sim.run(max_events=max_events)
+
+    def host_messages(self, tag: Optional[str] = None) -> List[MessageRecord]:
+        return self.sim.host_messages(tag)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.sim.elapsed_seconds
+
+    # ------------------------------------------------------------------
+    # Dispatch (installed on the simulator)
+    # ------------------------------------------------------------------
+
+    def _dispatch(
+        self, sim: Simulator, lane: Lane, record: MessageRecord, start: float
+    ) -> float:
+        cls, attr = self.program.handler(self.program.label_id(record.label))
+        if record.thread == NEW_THREAD:
+            thread_obj = cls()
+            tid = lane.allocate_thread(thread_obj)
+            sim.stats.threads_created += 1
+        else:
+            tid = record.thread
+            thread_obj = lane.get_thread(tid)
+            if thread_obj is None:
+                raise UDWeaveError(
+                    f"event {record.label!r} addressed dead thread {tid} "
+                    f"on lane {lane.network_id}"
+                )
+            if not isinstance(thread_obj, cls):
+                raise UDWeaveError(
+                    f"event {record.label!r} delivered to thread of type "
+                    f"{type(thread_obj).__name__} on lane {lane.network_id}"
+                )
+        ctx = LaneContext(self, lane, thread_obj, tid, record, start)
+        handler = getattr(thread_obj, attr)
+        handler(ctx, *record.operands)
+        if not (ctx.yielded or ctx.terminated):
+            raise UDWeaveError(
+                f"event {record.label!r} returned without yield or "
+                f"yield_terminate"
+            )
+        if ctx.terminated:
+            lane.deallocate_thread(tid)
+            sim.stats.threads_terminated += 1
+        return ctx.cycles

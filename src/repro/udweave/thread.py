@@ -1,0 +1,40 @@
+"""UDWeave threads: objects with events, instantiated by messages.
+
+Paper §2.1.1: *"UDWeave programs define threads that each contain one or
+more events.  When instantiated, threads are similar to objects, with
+events triggered by messages.  Events are similar to member functions and
+execute atomically."*
+
+An event handler has the signature ``def name(self, ctx, *operands)`` where
+``ctx`` is the :class:`repro.udweave.context.LaneContext` for this
+activation.  Thread-scope variables are ordinary instance attributes — they
+persist across events, exactly like the paper's thread variables.  Handlers
+must end each activation with ``ctx.yield_()`` (keep the thread) or
+``ctx.yield_terminate()`` (free it); forgetting to do so is a programming
+error the dispatcher reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def event(func: Callable) -> Callable:
+    """Mark a method as a UDWeave event handler."""
+    func._udweave_event = True  # type: ignore[attr-defined]
+    return func
+
+
+class UDThread:
+    """Base class for UDWeave thread definitions.
+
+    Subclasses declare thread variables in ``__init__`` (no arguments —
+    threads are created by message delivery, so all inputs arrive as event
+    operands) and events as ``@event`` methods.
+    """
+
+    def __init__(self) -> None:  # noqa: B027 — intentional hook
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} thread>"

@@ -1,0 +1,107 @@
+"""BASIM_PRINT-style simulation logs (artifact appendix, Listing 17-20).
+
+The artifact extracts every timing by diffing timestamps of log lines::
+
+    [BASIM_PRINT] 527500: [NWID 0][TID 12][label] message
+
+``ctx.ud_print`` emits the same structure; :func:`format_log` renders it,
+and :func:`ticks_between` reproduces the appendix's extraction recipe
+(first line matching one marker to last line matching another, converted
+to seconds at 2 GHz).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    tick: float
+    network_id: int
+    thread_id: int
+    label: str
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"[BASIM_PRINT] {self.tick:.0f}: [NWID {self.network_id}]"
+            f"[TID {self.thread_id}][{self.label}] {self.message}"
+        )
+
+
+class UDLog:
+    """Collects log entries for one simulation run."""
+
+    def __init__(self) -> None:
+        self.entries: List[LogEntry] = []
+
+    def emit(
+        self, tick: float, network_id: int, thread_id: int, label: str,
+        message: str,
+    ) -> None:
+        self.entries.append(
+            LogEntry(tick, network_id, thread_id, label, message)
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def format_log(self) -> str:
+        return "\n".join(e.render() for e in self.entries)
+
+    def matching(self, pattern: str) -> List[LogEntry]:
+        rx = re.compile(pattern)
+        return [
+            e
+            for e in self.entries
+            if rx.search(e.message) or rx.search(e.label)
+        ]
+
+    def first_tick(self, pattern: str) -> Optional[float]:
+        hits = self.matching(pattern)
+        return hits[0].tick if hits else None
+
+    def last_tick(self, pattern: str) -> Optional[float]:
+        hits = self.matching(pattern)
+        return hits[-1].tick if hits else None
+
+    def ticks_between(self, start_pattern: str, end_pattern: str) -> float:
+        """The appendix's recipe: last(end) - first(start), in ticks."""
+        t0 = self.first_tick(start_pattern)
+        t1 = self.last_tick(end_pattern)
+        if t0 is None or t1 is None:
+            raise ValueError(
+                f"log markers not found: {start_pattern!r} -> {end_pattern!r}"
+            )
+        return t1 - t0
+
+    def seconds_between(
+        self, start_pattern: str, end_pattern: str, clock_hz: int = 2_000_000_000
+    ) -> float:
+        """``time[s] = ticks / 2e9`` (the appendix's conversion)."""
+        return self.ticks_between(start_pattern, end_pattern) / clock_hz
+
+    def to_perflog_tsv(
+        self, host_seconds: float = 0.0, clock_hz: int = 2_000_000_000
+    ) -> str:
+        """Render the artifact's ``perflog.tsv`` format (Listing 21)::
+
+            HOST_SEC FINAL_TICK SIM_TICKS SIM_SEC CPU_ID NETWORK_ID
+            THREAD_ID EVENT_LABEL LANE_EXEC_TICKS MSG_ID MSG_STR
+        """
+        header = (
+            "HOST_SEC\tFINAL_TICK\tSIM_TICKS\tSIM_SEC\tCPU_ID\tNETWORK_ID"
+            "\tTHREAD_ID\tEVENT_LABEL\tLANE_EXEC_TICKS\tMSG_ID\tMSG_STR"
+        )
+        rows = [header]
+        for msg_id, e in enumerate(self.entries, start=1):
+            tick = int(e.tick)
+            rows.append(
+                f"{host_seconds:.2f}\t{tick}\t{tick}\t"
+                f"{tick / clock_hz:.6f}\t0\t{e.network_id}\t{e.thread_id}\t"
+                f"{e.label}\t{tick}\t{msg_id}\t{e.message}"
+            )
+        return "\n".join(rows)

@@ -1,0 +1,6 @@
+"""AGILE-style workflows: multi-kernel compositions (paper Table 5's
+WF1-WF4, §2.1.3's "composition of application phases")."""
+
+from .wf2 import WF2Report, WF2Workflow
+
+__all__ = ["WF2Workflow", "WF2Report"]

@@ -1,0 +1,91 @@
+"""BFS on the simulated machine vs the reference BFS."""
+
+import numpy as np
+import pytest
+
+from repro.apps import BFSApp
+from repro.baselines import bfs as ref_bfs, traversed_edges, validate_parents
+from repro.graph import CSRGraph, path_graph, rmat, star_graph
+from repro.machine import bench_machine
+from repro.udweave import UpDownRuntime
+
+
+def run_bfs(graph, root=0, nodes=2, max_degree=16, **kw):
+    rt = UpDownRuntime(bench_machine(nodes=nodes))
+    app = BFSApp(rt, graph, max_degree=max_degree, **kw)
+    return app.run(root=root, max_events=10_000_000), rt
+
+
+class TestCorrectness:
+    def test_distances_match_oracle(self, rmat_s6):
+        res, _ = run_bfs(rmat_s6)
+        dist, _ = ref_bfs(rmat_s6, 0)
+        assert np.array_equal(res.distances, dist)
+
+    def test_parents_form_valid_tree(self, rmat_s6):
+        res, _ = run_bfs(rmat_s6)
+        assert validate_parents(rmat_s6, 0, res.distances, res.parents)
+
+    def test_path_graph_linear_distances(self, path10):
+        res, _ = run_bfs(path10, nodes=1)
+        assert list(res.distances) == list(range(10))
+        assert res.rounds == 10  # 9 expanding rounds + 1 empty round
+
+    def test_star_graph_one_round(self, star32):
+        res, _ = run_bfs(star32, max_degree=8, nodes=1)
+        assert res.distances[0] == 0
+        assert all(res.distances[1:] == 1)
+
+    def test_nonzero_root(self, rmat_s6):
+        res, _ = run_bfs(rmat_s6, root=17)
+        dist, _ = ref_bfs(rmat_s6, 17)
+        assert np.array_equal(res.distances, dist)
+
+    def test_disconnected_component_unreachable(self):
+        g = CSRGraph.from_edges(
+            [(0, 1), (1, 0), (2, 3), (3, 2)], n=4
+        )
+        res, _ = run_bfs(g, nodes=1)
+        assert list(res.distances) == [0, 1, -1, -1]
+        assert list(res.parents[2:]) == [-1, -1]
+
+    def test_single_vertex_frontier_terminates(self):
+        g = CSRGraph.from_edges([], n=3)
+        res, _ = run_bfs(g, nodes=1)
+        assert list(res.distances) == [0, -1, -1]
+        assert res.rounds == 1
+
+    def test_traversed_edges_counted(self, rmat_s6):
+        res, _ = run_bfs(rmat_s6)
+        dist, _ = ref_bfs(rmat_s6, 0)
+        assert res.traversed_edges == traversed_edges(rmat_s6, dist)
+
+    def test_deterministic(self, rmat_s6):
+        a, _ = run_bfs(rmat_s6)
+        b, _ = run_bfs(rmat_s6)
+        assert np.array_equal(a.distances, b.distances)
+        assert a.elapsed_seconds == b.elapsed_seconds
+
+    def test_split_graph_same_distances(self, star32):
+        """Splitting the hub must not change reachability or distance."""
+        res_split, _ = run_bfs(star32, max_degree=4)
+        res_whole, _ = run_bfs(star32, max_degree=1024)
+        assert np.array_equal(res_split.distances, res_whole.distances)
+
+
+class TestValidation:
+    def test_bad_root_rejected(self, rmat_s6):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        app = BFSApp(rt, rmat_s6, max_degree=16)
+        with pytest.raises(ValueError):
+            app.run(root=rmat_s6.n + 5)
+
+    def test_gteps_metric(self, rmat_s6):
+        res, _ = run_bfs(rmat_s6)
+        assert res.giga_teps > 0
+
+    def test_rounds_match_eccentricity(self, rmat_s6):
+        res, _ = run_bfs(rmat_s6)
+        dist, _ = ref_bfs(rmat_s6, 0)
+        # rounds = max distance + 1 (the final, empty-frontier round)
+        assert res.rounds == dist.max() + 1

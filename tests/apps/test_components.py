@@ -1,0 +1,59 @@
+"""Connected components by label propagation."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ConnectedComponentsApp, reference_components
+from repro.graph import CSRGraph, complete_graph, path_graph, rmat
+from repro.machine import bench_machine
+from repro.udweave import UpDownRuntime
+
+
+def run_cc(graph, nodes=2):
+    rt = UpDownRuntime(bench_machine(nodes=nodes))
+    return ConnectedComponentsApp(rt, graph).run(max_events=30_000_000)
+
+
+class TestConnectedComponents:
+    def test_matches_union_find_oracle(self, rmat_s6):
+        res = run_cc(rmat_s6)
+        assert np.array_equal(res.labels, reference_components(rmat_s6))
+
+    def test_single_component_path(self, path10):
+        res = run_cc(path10, nodes=1)
+        assert res.n_components == 1
+        assert (res.labels == 0).all()
+
+    def test_isolated_vertices_are_own_components(self):
+        g = CSRGraph.from_edges([(0, 1)], n=4, symmetrize=True)
+        res = run_cc(g, nodes=1)
+        assert res.n_components == 3
+        assert list(res.labels) == [0, 0, 2, 3]
+
+    def test_labels_are_component_minima(self, rmat_s6):
+        res = run_cc(rmat_s6)
+        for label in np.unique(res.labels):
+            members = np.nonzero(res.labels == label)[0]
+            assert members.min() == label
+
+    def test_rounds_bounded_by_diameter(self, path10):
+        # a path of n vertices needs ~n rounds (labels travel one hop/round)
+        res = run_cc(path10, nodes=1)
+        assert res.rounds <= 11
+
+    def test_complete_graph_two_rounds(self):
+        res = run_cc(complete_graph(6), nodes=1)
+        assert res.rounds <= 2
+        assert res.n_components == 1
+
+    def test_asymmetric_rejected(self):
+        g = CSRGraph.from_edges([(0, 1)], n=2)
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        with pytest.raises(ValueError):
+            ConnectedComponentsApp(rt, g)
+
+    def test_deterministic(self, rmat_s6):
+        a = run_cc(rmat_s6)
+        b = run_cc(rmat_s6)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.elapsed_seconds == b.elapsed_seconds

@@ -1,0 +1,138 @@
+"""Table 3 extras: GNN, exact match, compaction, sequences, bucket sort."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    BucketSortApp,
+    CompactionApp,
+    ConstructSequencesApp,
+    ExactMatchApp,
+    GNNApp,
+    reference_features,
+    reference_integrate,
+    reference_sequences,
+)
+from repro.machine import bench_machine
+from repro.udweave import UpDownRuntime
+
+
+class TestGNN:
+    def test_gen_features_matches(self, rmat_s6):
+        rt = UpDownRuntime(bench_machine(nodes=2))
+        res = GNNApp(rt, rmat_s6).run(max_events=10_000_000)
+        assert np.allclose(res.features, reference_features(rmat_s6))
+
+    def test_integrate_matches(self, rmat_s6):
+        rt = UpDownRuntime(bench_machine(nodes=2))
+        res = GNNApp(rt, rmat_s6).run(max_events=10_000_000)
+        expected = reference_integrate(rmat_s6, reference_features(rmat_s6))
+        assert np.allclose(res.aggregated, expected)
+
+    def test_isolated_vertices_aggregate_zero(self):
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.from_edges([(0, 1), (1, 0)], n=3)
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        res = GNNApp(rt, g).run(max_events=1_000_000)
+        assert np.all(res.aggregated[2] == 0)
+
+
+class TestExactMatch:
+    def test_hit_count(self):
+        rt = UpDownRuntime(bench_machine(nodes=2))
+        data = [(k, k) for k in range(0, 60, 3)]  # keys 0,3,...,57
+        probes = list(range(20))  # hits: 0,3,6,9,12,15,18 -> 7
+        res = ExactMatchApp(rt, data, probes).run(max_events=3_000_000)
+        assert res.hits == 7
+
+    def test_no_hits(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        res = ExactMatchApp(rt, [(1, 1)], [2, 3]).run(max_events=500_000)
+        assert res.hits == 0
+
+    def test_all_hits(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        res = ExactMatchApp(
+            rt, [(k, k) for k in range(10)], list(range(10))
+        ).run(max_events=1_000_000)
+        assert res.hits == 10
+
+    def test_empty_inputs_rejected(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        with pytest.raises(ValueError):
+            ExactMatchApp(rt, [], [1])
+
+
+class TestCompaction:
+    def test_matches_numpy_nonzero(self):
+        rng = np.random.default_rng(5)
+        alive = rng.integers(0, 2, 300)
+        rt = UpDownRuntime(bench_machine(nodes=2))
+        res = CompactionApp(rt, alive).run(max_events=3_000_000)
+        expected = np.nonzero(alive)[0]
+        assert np.array_equal(res.compacted, expected)
+        assert res.live == len(expected)
+
+    def test_mapping_is_inverse(self):
+        alive = np.array([1, 0, 1, 1, 0, 1])
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        res = CompactionApp(rt, alive, block_vertices=2).run(
+            max_events=1_000_000
+        )
+        for new, old in enumerate(res.compacted):
+            assert res.mapping[old] == new
+        assert res.mapping[1] == -1 and res.mapping[4] == -1
+
+    def test_all_dead(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        res = CompactionApp(rt, np.zeros(10)).run(max_events=1_000_000)
+        assert res.live == 0
+        assert len(res.compacted) == 0
+
+    def test_all_alive_is_identity(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        res = CompactionApp(rt, np.ones(10)).run(max_events=1_000_000)
+        assert np.array_equal(res.compacted, np.arange(10))
+
+
+class TestSequences:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(2)
+        events = np.column_stack(
+            [
+                rng.integers(0, 8, 100),
+                rng.permutation(100),
+                np.arange(100),
+            ]
+        )
+        rt = UpDownRuntime(bench_machine(nodes=2))
+        res = ConstructSequencesApp(rt, events, 8).run(max_events=5_000_000)
+        assert res.sequences == reference_sequences(events)
+
+    def test_time_ordering_within_entity(self):
+        events = np.array(
+            [[0, 30, 103], [0, 10, 101], [0, 20, 102]]
+        )
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        res = ConstructSequencesApp(rt, events, 1).run(max_events=500_000)
+        assert res.sequences == {0: [101, 102, 103]}
+
+    def test_bad_shape_rejected(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        with pytest.raises(ValueError):
+            ConstructSequencesApp(rt, np.zeros((3, 2)), 1)
+
+
+class TestBucketSort:
+    def test_sorts(self):
+        rng = np.random.default_rng(0)
+        vals = rng.integers(-500, 500, 200)
+        rt = UpDownRuntime(bench_machine(nodes=2))
+        res = BucketSortApp(rt, vals).run(max_events=5_000_000)
+        assert np.array_equal(res.output, np.sort(vals))
+
+    def test_buckets_per_lane_validated(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        with pytest.raises(ValueError):
+            BucketSortApp(rt, np.array([1]), buckets_per_lane=0)

@@ -1,0 +1,83 @@
+"""Ingestion: parse + insert correctness, block-boundary handling."""
+
+import pytest
+
+from repro.apps import IngestionApp, make_workload
+from repro.apps.tform import Record
+from repro.machine import bench_machine
+from repro.udweave import UpDownRuntime
+
+
+def run_ingest(records, nodes=2, block_words=32):
+    rt = UpDownRuntime(bench_machine(nodes=nodes))
+    app = IngestionApp(rt, records, block_words=block_words)
+    res = app.run(max_events=10_000_000)
+    return app, res
+
+
+class TestCorrectness:
+    def test_every_record_parsed_once(self):
+        recs = make_workload(80, seed=1)
+        _app, res = run_ingest(recs)
+        assert res.records == len(recs)
+
+    def test_pga_contents_match(self):
+        recs = make_workload(80, seed=2)
+        app, _res = run_ingest(recs)
+        v, e = app.pga.snapshot()
+        ev, ee = app.expected_tables()
+        assert set(v) == set(ev)
+        assert set(e) == set(ee)
+        # singleton keys must carry the exact payload
+        for k, vals in ee.items():
+            if len(vals) == 1:
+                etype, ts = next(iter(vals))
+                assert e[k][0] == etype and e[k][1] == ts
+
+    @pytest.mark.parametrize("block_words", [8, 16, 64, 1024])
+    def test_block_size_never_changes_record_count(self, block_words):
+        """Records spanning boundaries are parsed exactly once at any
+        block granularity (§5.2.4's boundary-crossing claim)."""
+        recs = make_workload(60, seed=3)
+        _app, res = run_ingest(recs, block_words=block_words)
+        assert res.records == len(recs)
+
+    def test_single_record_file(self):
+        _app, res = run_ingest([Record.edge(1, 2, 3, 4)])
+        assert res.records == 1
+
+    def test_vertex_only_file(self):
+        recs = [Record.vertex(i, i * 10) for i in range(20)]
+        app, res = run_ingest(recs)
+        assert res.records == 20
+        v, e = app.pga.snapshot()
+        assert len(v) == 20 and len(e) == 0
+
+    def test_long_records_spanning_blocks(self):
+        """Records wider than a block still parse (block smaller than a
+        record forces multi-block spans)."""
+        recs = [
+            Record.edge(10**14 + i, 10**14 + i + 1, 5, 10**12)
+            for i in range(10)
+        ]
+        _app, res = run_ingest(recs, block_words=8)  # 64-byte blocks
+        assert res.records == 10
+
+    def test_deterministic(self):
+        recs = make_workload(40, seed=7)
+        _a1, r1 = run_ingest(recs)
+        _a2, r2 = run_ingest(recs)
+        assert r1.elapsed_seconds == r2.elapsed_seconds
+
+
+class TestMetrics:
+    def test_throughput_metrics(self):
+        recs = make_workload(50, seed=0)
+        _app, res = run_ingest(recs)
+        assert res.records_per_second > 0
+        assert res.bytes_per_second == res.records_per_second * 64
+
+    def test_block_words_validated(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        with pytest.raises(ValueError):
+            IngestionApp(rt, make_workload(5), block_words=4)

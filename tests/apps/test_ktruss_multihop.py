@@ -1,0 +1,114 @@
+"""K-Truss and multihop reasoning (the §6 / Table 3 extensions)."""
+
+import pytest
+
+from repro.apps import (
+    KTrussApp,
+    MultihopApp,
+    make_workload,
+    reference_ktruss,
+    reference_multihop,
+)
+from repro.graph import CSRGraph, complete_graph, path_graph, rmat
+from repro.machine import bench_machine
+from repro.udweave import UpDownRuntime
+
+
+def run_ktruss(graph, k, nodes=2):
+    rt = UpDownRuntime(bench_machine(nodes=nodes))
+    return KTrussApp(rt, graph, k).run(max_events=30_000_000)
+
+
+class TestKTruss:
+    def test_matches_networkx_k3(self, rmat_s6):
+        res = run_ktruss(rmat_s6, 3)
+        assert set(res.truss.edges()) == reference_ktruss(rmat_s6, 3)
+
+    def test_matches_networkx_k4(self, rmat_s6):
+        res = run_ktruss(rmat_s6, 4)
+        assert set(res.truss.edges()) == reference_ktruss(rmat_s6, 4)
+
+    def test_complete_graph_survives_its_own_truss(self):
+        k5 = complete_graph(5)
+        res = run_ktruss(k5, 5)
+        assert res.edges_remaining == 20
+
+    def test_triangle_free_graph_empties(self, path10):
+        res = run_ktruss(path10, 3)
+        assert res.edges_remaining == 0
+
+    def test_peeling_cascades(self):
+        """A triangle glued to a K4 by one edge: k=4 must peel the
+        triangle (cascade) but keep the K4."""
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),  # K4
+                 (3, 4), (4, 5), (5, 3)]                          # triangle
+        g = CSRGraph.from_edges(edges, n=6, symmetrize=True)
+        res = run_ktruss(g, 4)
+        assert set(res.truss.edges()) == reference_ktruss(g, 4)
+        assert res.edges_remaining == 12  # the K4's 6 undirected edges
+        assert res.rounds >= 2
+
+    def test_k_below_3_rejected(self, rmat_s6):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        with pytest.raises(ValueError):
+            KTrussApp(rt, rmat_s6, 2)
+
+    def test_asymmetric_graph_rejected(self):
+        g = CSRGraph.from_edges([(0, 1)], n=2)
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        with pytest.raises(ValueError):
+            KTrussApp(rt, g, 3)
+
+
+class TestMultihop:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return make_workload(120, n_vertices=30, seed=9)
+
+    def _query(self, records, seeds, hops, nodes=4):
+        rt = UpDownRuntime(bench_machine(nodes=nodes))
+        app = MultihopApp(rt, records)
+        app.run_ingest(max_events=10_000_000)
+        return app.query(seeds, hops, max_events=10_000_000)
+
+    def test_matches_oracle(self, records):
+        res = self._query(records, [1, 5], 2)
+        assert res.reached == reference_multihop(records, [1, 5], 2)
+
+    def test_zero_hops_is_just_seeds(self, records):
+        res = self._query(records, [3], 0)
+        assert res.reached == {3: 0}
+
+    def test_hops_monotone(self, records):
+        r1 = self._query(records, [1], 1)
+        r2 = self._query(records, [1], 2)
+        assert set(r1.reached) <= set(r2.reached)
+
+    def test_distances_are_hops(self, records):
+        res = self._query(records, [1], 3)
+        want = reference_multihop(records, [1], 3)
+        assert res.reached == want
+        assert all(
+            d <= 3 for d in res.reached.values()
+        )
+
+    def test_query_before_ingest_rejected(self, records):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        app = MultihopApp(rt, records)
+        with pytest.raises(RuntimeError):
+            app.query([1], 1)
+
+    def test_adjacency_index_matches_records(self, records):
+        rt = UpDownRuntime(bench_machine(nodes=2))
+        app = MultihopApp(rt, records)
+        app.run_ingest(max_events=10_000_000)
+        adj = app.pga.snapshot_adjacency()
+        from repro.apps.tform import REC_EDGE
+
+        expected = {}
+        for r in records:
+            if r.kind == REC_EDGE:
+                expected.setdefault(r.fields[0], []).append(r.fields[1])
+        assert {k: sorted(v) for k, v in adj.items()} == {
+            k: sorted(v) for k, v in expected.items()
+        }

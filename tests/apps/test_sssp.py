@@ -1,0 +1,77 @@
+"""Weighted SSSP vs the Dijkstra oracle."""
+
+import numpy as np
+import pytest
+
+from repro.apps import SSSPApp, default_weights, reference_sssp
+from repro.graph import CSRGraph, path_graph, rmat
+from repro.machine import bench_machine
+from repro.udweave import UpDownRuntime
+
+
+def run_sssp(graph, weights=None, source=0, nodes=2):
+    rt = UpDownRuntime(bench_machine(nodes=nodes))
+    app = SSSPApp(rt, graph, weights=weights)
+    return app.run(source=source, max_events=60_000_000)
+
+
+class TestSSSP:
+    def test_matches_dijkstra(self, rmat_s6):
+        w = default_weights(rmat_s6)
+        res = run_sssp(rmat_s6, w)
+        assert np.array_equal(res.distances, reference_sssp(rmat_s6, w, 0))
+
+    def test_uniform_weights_reduce_to_scaled_bfs(self, rmat_s6):
+        from repro.baselines import bfs as ref_bfs
+
+        w = np.full(rmat_s6.m, 5, dtype=np.int64)
+        res = run_sssp(rmat_s6, w)
+        dist, _ = ref_bfs(rmat_s6, 0)
+        expected = np.where(dist >= 0, dist * 5, -1)
+        assert np.array_equal(res.distances, expected)
+
+    def test_path_accumulates_weights(self, path10):
+        w = np.arange(1, path10.m + 1, dtype=np.int64)
+        res = run_sssp(path10, w, nodes=1)
+        exp = reference_sssp(path10, w, 0)
+        assert np.array_equal(res.distances, exp)
+
+    def test_unreachable_marked(self):
+        g = CSRGraph.from_edges([(0, 1)], n=3)
+        res = run_sssp(g, np.array([2]), nodes=1)
+        assert list(res.distances) == [0, 2, -1]
+
+    def test_shorter_path_through_more_hops_wins(self):
+        # 0->2 direct costs 10; 0->1->2 costs 2+2=4
+        g = CSRGraph.from_edges(
+            [(0, 1), (0, 2), (1, 2)], n=3, dedup=False
+        )
+        # edges sorted by (src, dst): (0,1) (0,2) (1,2)
+        w = np.array([2, 10, 2], dtype=np.int64)
+        res = run_sssp(g, w, nodes=1)
+        assert list(res.distances) == [0, 2, 4]
+        assert res.rounds >= 3  # the improvement needs a second round
+
+    def test_nonzero_source(self, rmat_s6):
+        w = default_weights(rmat_s6)
+        res = run_sssp(rmat_s6, w, source=17)
+        assert np.array_equal(res.distances, reference_sssp(rmat_s6, w, 17))
+
+    def test_weight_validation(self, rmat_s6):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        with pytest.raises(ValueError, match="one weight"):
+            SSSPApp(rt, rmat_s6, weights=np.array([1, 2]))
+        with pytest.raises(ValueError, match="positive"):
+            SSSPApp(rt, rmat_s6, weights=np.zeros(rmat_s6.m, dtype=np.int64))
+
+    def test_default_weights_deterministic(self, rmat_s6):
+        assert np.array_equal(
+            default_weights(rmat_s6), default_weights(rmat_s6)
+        )
+        assert default_weights(rmat_s6).min() >= 1
+
+    def test_size_invariance(self, rmat_s6):
+        w = default_weights(rmat_s6)
+        a = run_sssp(rmat_s6, w, nodes=1)
+        b = run_sssp(rmat_s6, w, nodes=4)
+        assert np.array_equal(a.distances, b.distances)

@@ -1,0 +1,129 @@
+"""TFORM transducer vs Python's csv module; packing; workload generator."""
+
+import csv as csv_mod
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.tform import (
+    REC_EDGE,
+    REC_VERTEX,
+    RECORD_WORDS,
+    Record,
+    Transducer,
+    make_workload,
+    pack_text,
+    parse_all,
+    unpack_word,
+    unpack_words,
+    workload_csv,
+)
+
+
+class TestRecords:
+    def test_to_words_is_64_bytes(self):
+        r = Record.edge(1, 2, 3, 4)
+        words = r.to_words()
+        assert len(words) == RECORD_WORDS
+        assert words[:5] == (REC_EDGE, 1, 2, 3, 4)
+
+    def test_csv_roundtrip(self):
+        r = Record.vertex(17, 4)
+        assert parse_all(r.to_csv() + "\n") == [r]
+
+    def test_kinds(self):
+        assert Record.vertex(1).kind == REC_VERTEX
+        assert Record.edge(1, 2, 3).kind == REC_EDGE
+
+
+class TestTransducer:
+    def test_parses_mixed_records(self):
+        text = "V,1,10\nE,1,2,3,4\nV,2,20\n"
+        recs = parse_all(text)
+        assert [r.kind for r in recs] == [REC_VERTEX, REC_EDGE, REC_VERTEX]
+        assert recs[1].fields == (1, 2, 3, 4)
+
+    def test_incremental_chunks_equal_whole(self):
+        text = workload_csv(make_workload(40, seed=1))
+        whole = parse_all(text)
+        t = Transducer()
+        chunked = []
+        data = text.encode()
+        for i in range(0, len(data), 7):  # deliberately odd chunk size
+            chunked.extend(t.feed(data[i : i + 7]))
+        assert chunked == whole
+
+    def test_blank_lines_skipped(self):
+        assert parse_all("\n\nV,1,2\n\n") == [Record.vertex(1, 2)]
+
+    def test_nul_padding_ignored(self):
+        assert parse_all("V,1,2\n\x00\x00\x00") == [Record.vertex(1, 2)]
+
+    def test_garbage_lines_skipped(self):
+        recs = parse_all("XYZ,what\nV,1,2\nQ#$%\nE,1,2,3,4\n")
+        assert len(recs) == 2
+
+    def test_mid_record_flag(self):
+        t = Transducer()
+        t.feed(b"E,1,2")
+        assert t.mid_record
+        t.feed(b",3,4\n")
+        assert not t.mid_record
+
+    def test_truncated_final_record_not_emitted(self):
+        assert parse_all("V,1,2\nE,3,4") == [Record.vertex(1, 2)]
+
+    def test_matches_csv_module(self):
+        recs = make_workload(60, seed=9)
+        text = workload_csv(recs)
+        ours = parse_all(text)
+        theirs = []
+        for row in csv_mod.reader(io.StringIO(text)):
+            if not row:
+                continue
+            kind = REC_VERTEX if row[0] == "V" else REC_EDGE
+            theirs.append(Record(kind, tuple(int(x) for x in row[1:])))
+        assert ours == theirs
+
+
+class TestPacking:
+    def test_pack_pads_to_words(self):
+        w = pack_text("abc")
+        assert len(w) == 1
+        assert unpack_word(int(w[0])) == b"abc\x00\x00\x00\x00\x00"
+
+    def test_pack_unpack_roundtrip(self):
+        text = "E,12,34,5,678\nV,9,0\n"
+        words = pack_text(text)
+        raw = unpack_words(words)
+        assert raw[: len(text)] == text.encode()
+
+    @given(st.text(alphabet="VE,0123456789\n", max_size=200))
+    def test_pack_roundtrip_property(self, text):
+        words = pack_text(text)
+        assert unpack_words(words)[: len(text.encode())] == text.encode()
+
+
+class TestWorkload:
+    def test_record_mix(self):
+        recs = make_workload(100, vertex_fraction=0.25, seed=0)
+        edges = [r for r in recs if r.kind == REC_EDGE]
+        vertices = [r for r in recs if r.kind == REC_VERTEX]
+        assert len(edges) == 100
+        assert len(vertices) == 25
+
+    def test_deterministic(self):
+        assert make_workload(20, seed=4) == make_workload(20, seed=4)
+        assert make_workload(20, seed=4) != make_workload(20, seed=5)
+
+    def test_edge_types_bounded(self):
+        recs = make_workload(50, n_edge_types=3, seed=0)
+        for r in recs:
+            if r.kind == REC_EDGE:
+                assert 0 <= r.fields[2] < 3
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload(0)

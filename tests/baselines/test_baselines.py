@@ -1,0 +1,107 @@
+"""The CPU oracles themselves: cross-checks and known values."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    bfs,
+    pagerank,
+    pagerank_converged,
+    traversed_edges,
+    triangle_count,
+    triangle_count_intersect,
+    validate_parents,
+)
+from repro.graph import CSRGraph, complete_graph, path_graph, rmat
+
+
+def to_networkx(g: CSRGraph) -> nx.DiGraph:
+    G = nx.DiGraph()
+    G.add_nodes_from(range(g.n))
+    G.add_edges_from(g.edges())
+    return G
+
+
+class TestPageRankOracle:
+    def test_converged_matches_networkx(self):
+        # networkx redistributes dangling mass, we drop it (documented in
+        # baselines.pagerank) — compare on a graph with no isolated
+        # vertices, where the two rules coincide
+        from repro.graph import forest_fire
+
+        g = forest_fire(64, seed=2)
+        assert (g.degrees > 0).all()
+        ours = pagerank_converged(g, damping=0.85, tol=1e-12)
+        theirs = nx.pagerank(to_networkx(g), alpha=0.85, tol=1e-12)
+        arr = np.array([theirs[i] for i in range(g.n)])
+        assert np.abs(ours - arr).max() < 1e-8
+
+    def test_uniform_on_regular_graph(self):
+        g = complete_graph(5)
+        pr = pagerank(g, iterations=10)
+        assert np.allclose(pr, 0.2)
+
+    def test_mass_conserved_without_dangling(self):
+        from repro.graph import forest_fire
+
+        g = forest_fire(64, seed=2)
+        pr = pagerank(g, iterations=3)
+        assert pr.sum() == pytest.approx(1.0)
+
+    def test_dangling_mass_dropped_not_redistributed(self, rmat_s6):
+        """rmat graphs have isolated vertex IDs; our rule loses their
+        mass each iteration (both sides of the validation use it)."""
+        assert (rmat_s6.degrees == 0).any()
+        pr = pagerank(rmat_s6, iterations=1)
+        assert pr.sum() < 1.0
+
+    def test_empty_graph(self):
+        assert len(pagerank(CSRGraph.from_edges([], n=0))) == 0
+
+    def test_initial_vector_respected(self, rmat_s6):
+        init = np.zeros(rmat_s6.n)
+        init[0] = 1.0
+        pr = pagerank(rmat_s6, 1, initial=init)
+        assert pr.sum() == pytest.approx(1.0)
+
+
+class TestBFSOracle:
+    def test_matches_networkx(self, rmat_s6):
+        dist, parent = bfs(rmat_s6, 0)
+        lengths = nx.single_source_shortest_path_length(
+            to_networkx(rmat_s6), 0
+        )
+        for v in range(rmat_s6.n):
+            assert dist[v] == lengths.get(v, -1)
+        assert validate_parents(rmat_s6, 0, dist, parent)
+
+    def test_traversed_edges(self, path10):
+        dist, _ = bfs(path10, 0)
+        assert traversed_edges(path10, dist) == path10.m
+
+    def test_bad_root(self, path10):
+        with pytest.raises(ValueError):
+            bfs(path10, 99)
+
+    def test_validate_parents_catches_bad_tree(self, path10):
+        dist, parent = bfs(path10, 0)
+        bad = parent.copy()
+        bad[5] = 9  # not a distance-4 vertex
+        assert not validate_parents(path10, 0, dist, bad)
+
+
+class TestTriangleOracle:
+    def test_matches_networkx(self, rmat_s6):
+        ours = triangle_count(rmat_s6)
+        G = to_networkx(rmat_s6).to_undirected()
+        theirs = sum(nx.triangles(G).values()) // 3
+        assert ours == theirs
+
+    def test_intersect_equals_matrix(self, rmat_s6):
+        assert triangle_count(rmat_s6) == triangle_count_intersect(rmat_s6)
+
+    def test_known_counts(self):
+        assert triangle_count(complete_graph(4)) == 4
+        assert triangle_count(complete_graph(6)) == 20
+        assert triangle_count(path_graph(10)) == 0

@@ -1,0 +1,56 @@
+"""Shared fixtures: small machines and graphs sized for fast simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import erdos_renyi, path_graph, rmat, star_graph
+from repro.machine import MachineConfig, bench_machine
+from repro.udweave import UpDownRuntime
+
+
+@pytest.fixture
+def tiny_config() -> MachineConfig:
+    """One node, 2 accels x 4 lanes."""
+    return bench_machine(nodes=1, accels_per_node=2, lanes_per_accel=4)
+
+
+@pytest.fixture
+def small_config() -> MachineConfig:
+    """Four nodes, 4 accels x 8 lanes (the benchmark shape)."""
+    return bench_machine(nodes=4)
+
+
+@pytest.fixture
+def tiny_runtime(tiny_config) -> UpDownRuntime:
+    return UpDownRuntime(tiny_config)
+
+
+@pytest.fixture
+def small_runtime(small_config) -> UpDownRuntime:
+    return UpDownRuntime(small_config)
+
+
+@pytest.fixture(scope="session")
+def rmat_s6():
+    return rmat(6, seed=48)
+
+
+@pytest.fixture(scope="session")
+def rmat_s7():
+    return rmat(7, seed=48)
+
+
+@pytest.fixture(scope="session")
+def er_small():
+    return erdos_renyi(128, avg_degree=8.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def path10():
+    return path_graph(10)
+
+
+@pytest.fixture(scope="session")
+def star32():
+    return star_graph(32)

@@ -1,0 +1,86 @@
+"""Parallel graph abstraction: streaming vertex/edge inserts."""
+
+from repro.datastruct import ParallelGraph
+from repro.machine import bench_machine
+from repro.udweave import UDThread, UpDownRuntime, event
+
+
+def drive(rt, body):
+    @rt.register
+    class _D(UDThread):
+        @event
+        def go(self, ctx):
+            body(ctx)
+            ctx.yield_terminate()
+
+    rt.start(0, "_D::go")
+    rt.run(max_events=2_000_000)
+
+
+class TestParallelGraph:
+    def test_insert_and_snapshot(self):
+        rt = UpDownRuntime(bench_machine(nodes=2))
+        pg = ParallelGraph(rt)
+        drive(rt, lambda ctx: (
+            pg.insert_vertex_from(ctx, 1, (100,)),
+            pg.insert_vertex_from(ctx, 2, (200,)),
+            pg.insert_edge_from(ctx, 1, 2, (7, 0)),
+        ))
+        vertices, edges = pg.snapshot()
+        assert vertices == {1: (100,), 2: (200,)}
+        assert edges == {(1, 2): (7, 0)}
+        assert pg.n_vertices == 2 and pg.n_edges == 1
+
+    def test_edge_upsert_overwrites(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        pg = ParallelGraph(rt)
+        drive(rt, lambda ctx: (
+            pg.insert_edge_from(ctx, 1, 2, (7, 0)),
+            pg.insert_edge_from(ctx, 1, 2, (9, 1)),
+        ))
+        _, edges = pg.snapshot()
+        assert edges == {(1, 2): (9, 1)}
+
+    def test_directed_edges_distinct(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        pg = ParallelGraph(rt)
+        drive(rt, lambda ctx: (
+            pg.insert_edge_from(ctx, 1, 2, (1, 0)),
+            pg.insert_edge_from(ctx, 2, 1, (2, 0)),
+        ))
+        _, edges = pg.snapshot()
+        assert set(edges) == {(1, 2), (2, 1)}
+
+    def test_lookup_edge(self):
+        rt = UpDownRuntime(bench_machine(nodes=2))
+        pg = ParallelGraph(rt)
+        got = []
+
+        @rt.register
+        class D(UDThread):
+            @event
+            def go(self, ctx):
+                pg.insert_edge_from(
+                    ctx, 5, 6, (3, 9), cont=ctx.self_evw("inserted")
+                )
+                ctx.yield_()
+
+            @event
+            def inserted(self, ctx, ok):
+                pg.lookup_edge_from(ctx, 5, 6, ctx.self_evw("found"))
+                ctx.yield_()
+
+            @event
+            def found(self, ctx, hit, *vals):
+                got.append((hit, vals))
+                ctx.yield_terminate()
+
+        rt.start(0, "D::go")
+        rt.run(max_events=200_000)
+        assert got == [(1, (3, 9))]
+
+    def test_two_tables_are_independent(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        pg = ParallelGraph(rt)
+        drive(rt, lambda ctx: pg.insert_vertex_from(ctx, 1, (1,)))
+        assert pg.n_edges == 0

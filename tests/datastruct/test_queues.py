@@ -1,0 +1,107 @@
+"""MPMC queue: no loss, no duplication, segment distribution."""
+
+import pytest
+
+from repro.datastruct import MPMCQueue
+from repro.machine import bench_machine
+from repro.udweave import UDThread, UpDownRuntime, event
+
+
+class TestMPMCQueue:
+    def test_enqueue_then_snapshot(self):
+        rt = UpDownRuntime(bench_machine(nodes=2))
+        q = MPMCQueue(rt, "q")
+
+        @rt.register
+        class D(UDThread):
+            @event
+            def go(self, ctx):
+                for i in range(25):
+                    q.enqueue_from(ctx, 1000 + i, ticket=i)
+                ctx.yield_terminate()
+
+        rt.start(0, "D::go")
+        rt.run(max_events=200_000)
+        assert sorted(q.snapshot()) == [1000 + i for i in range(25)]
+        assert len(q) == 25
+
+    def test_no_loss_no_dup_through_dequeues(self):
+        """Every enqueued item is dequeued exactly once when consumers
+        sweep every segment."""
+        rt = UpDownRuntime(bench_machine(nodes=4))
+        q = MPMCQueue(rt, "q", n_segments=8)
+        received = []
+
+        @rt.register
+        class Producer(UDThread):
+            @event
+            def go(self, ctx):
+                for i in range(30):
+                    q.enqueue_from(ctx, i, ticket=i)
+                # sweep each segment until empty, twice over
+                ctx.spawn(0, "Consumer::sweep", 0, 0)
+                ctx.yield_terminate()
+
+        @rt.register
+        class Consumer(UDThread):
+            @event
+            def sweep(self, ctx, ticket, empties):
+                self.ticket, self.empties = ticket, empties
+                q.dequeue_from(ctx, ticket, ctx.self_evw("got"))
+                ctx.yield_()
+
+            @event
+            def got(self, ctx, found, *item):
+                if found:
+                    received.append(item[0])
+                    empties = 0
+                else:
+                    empties = self.empties + 1
+                if empties > 2 * 8:  # every segment seen empty
+                    ctx.yield_terminate()
+                    return
+                ctx.spawn(0, "Consumer::sweep", self.ticket + 1, empties)
+                ctx.yield_terminate()
+
+        rt.start(0, "Producer::go")
+        rt.run(max_events=500_000)
+        assert sorted(received) == list(range(30))
+        assert len(q) == 0
+
+    def test_dequeue_empty_replies_zero(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        q = MPMCQueue(rt, "q")
+        got = []
+
+        @rt.register
+        class D(UDThread):
+            @event
+            def go(self, ctx):
+                q.dequeue_from(ctx, 0, ctx.self_evw("r"))
+                ctx.yield_()
+
+            @event
+            def r(self, ctx, found, *item):
+                got.append(found)
+                ctx.yield_terminate()
+
+        rt.start(0, "D::go")
+        rt.run(max_events=50_000)
+        assert got == [0]
+
+    def test_tickets_spread_segments(self):
+        rt = UpDownRuntime(bench_machine(nodes=8))
+        q = MPMCQueue(rt, "q", n_segments=16)
+        lanes = {q._lane_for_ticket(t) for t in range(200)}
+        assert len(lanes) > 8
+
+    def test_oversized_segment_range_rejected(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        with pytest.raises(ValueError, match="exceed"):
+            MPMCQueue(rt, "q", n_segments=100)
+
+    def test_duplicate_name_rejected(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        MPMCQueue(rt, "q")
+        with pytest.raises(ValueError):
+            MPMCQueue(rt, "q")

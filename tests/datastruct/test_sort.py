@@ -1,0 +1,97 @@
+"""Global sort and histogram: correctness against NumPy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datastruct import GlobalSortApp, HistogramApp
+from repro.machine import bench_machine
+from repro.udweave import UpDownRuntime
+
+
+class TestGlobalSort:
+    def test_sorts_random_input(self):
+        rng = np.random.default_rng(1)
+        vals = rng.integers(0, 10_000, 400)
+        rt = UpDownRuntime(bench_machine(nodes=2))
+        res = GlobalSortApp(rt, vals, nbuckets=16).run(max_events=3_000_000)
+        assert np.array_equal(res.output, np.sort(vals))
+
+    def test_duplicates_preserved(self):
+        vals = np.array([5, 3, 5, 1, 3, 3])
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        res = GlobalSortApp(rt, vals, nbuckets=4).run(max_events=500_000)
+        assert list(res.output) == [1, 3, 3, 3, 5, 5]
+
+    def test_already_sorted(self):
+        vals = np.arange(100)
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        res = GlobalSortApp(rt, vals, nbuckets=8).run(max_events=1_000_000)
+        assert np.array_equal(res.output, vals)
+
+    def test_all_equal_values(self):
+        vals = np.full(50, 7)
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        res = GlobalSortApp(rt, vals, nbuckets=8).run(max_events=500_000)
+        assert np.array_equal(res.output, vals)
+
+    def test_negative_values(self):
+        vals = np.array([-5, 3, -100, 0, 42])
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        res = GlobalSortApp(rt, vals, nbuckets=4).run(max_events=500_000)
+        assert list(res.output) == [-100, -5, 0, 3, 42]
+
+    def test_empty_rejected(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        with pytest.raises(ValueError):
+            GlobalSortApp(rt, np.array([], dtype=np.int64))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        vals=st.lists(st.integers(-1000, 1000), min_size=1, max_size=120)
+    )
+    def test_sort_property(self, vals):
+        rt = UpDownRuntime(bench_machine(nodes=2))
+        res = GlobalSortApp(rt, np.array(vals), nbuckets=8).run(
+            max_events=2_000_000
+        )
+        assert list(res.output) == sorted(vals)
+
+
+class TestHistogram:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(2)
+        vals = rng.integers(0, 1000, 300)
+        rt = UpDownRuntime(bench_machine(nodes=2))
+        app = HistogramApp(rt, vals, nbins=10)
+        res = app.run(max_events=2_000_000)
+        expected, _ = np.histogram(vals, bins=10, range=(app.lo, app.hi))
+        assert np.array_equal(res.counts, expected)
+        assert res.counts.sum() == len(vals)
+
+    def test_single_bin(self):
+        vals = np.array([1, 2, 3])
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        res = HistogramApp(rt, vals, nbins=1).run(max_events=200_000)
+        assert list(res.counts) == [3]
+
+    def test_constant_values(self):
+        vals = np.full(20, 9)
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        res = HistogramApp(rt, vals, nbins=4).run(max_events=200_000)
+        assert res.counts.sum() == 20
+
+    def test_explicit_range_clamps(self):
+        vals = np.array([0, 5, 10, 15, 100])
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        app = HistogramApp(rt, vals, nbins=2, lo=0, hi=10)
+        res = app.run(max_events=200_000)
+        # values above hi clamp into the last bin
+        assert res.counts.sum() == 5
+
+    def test_validation(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        with pytest.raises(ValueError):
+            HistogramApp(rt, np.array([]), nbins=4)
+        with pytest.raises(ValueError):
+            HistogramApp(rt, np.array([1]), nbins=0)

@@ -1,0 +1,105 @@
+"""CSR graph construction and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import CSRGraph, GraphError
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = CSRGraph.from_edges([(0, 1), (0, 2), (1, 2)], n=3)
+        assert g.n == 3 and g.m == 3
+        assert list(g.out_neighbors(0)) == [1, 2]
+        assert g.degree(1) == 1
+
+    def test_symmetrize_doubles_edges(self):
+        g = CSRGraph.from_edges([(0, 1)], n=2, symmetrize=True)
+        assert g.m == 2
+        assert list(g.out_neighbors(1)) == [0]
+
+    def test_dedup_removes_duplicates(self):
+        g = CSRGraph.from_edges([(0, 1), (0, 1), (0, 1)], n=2)
+        assert g.m == 1
+
+    def test_dedup_disabled_keeps_multiplicity(self):
+        g = CSRGraph.from_edges([(0, 1), (0, 1)], n=2, dedup=False)
+        assert g.m == 2
+
+    def test_self_loops_dropped_by_default(self):
+        g = CSRGraph.from_edges([(0, 0), (0, 1)], n=2)
+        assert g.m == 1
+
+    def test_neighbors_sorted_within_vertex(self):
+        g = CSRGraph.from_edges([(0, 5), (0, 2), (0, 9)], n=10)
+        assert list(g.out_neighbors(0)) == [2, 5, 9]
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges([], n=4)
+        assert g.n == 4 and g.m == 0
+        assert g.max_degree == 0
+
+    def test_n_inferred_from_edges(self):
+        g = CSRGraph.from_edges([(0, 7)])
+        assert g.n == 8
+
+    def test_endpoint_exceeding_n_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges([(0, 5)], n=3)
+
+    def test_malformed_offsets_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 1]))
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+
+    def test_neighbor_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+
+class TestTransforms:
+    def test_reversed_transposes(self):
+        g = CSRGraph.from_edges([(0, 1), (0, 2)], n=3)
+        r = g.reversed()
+        assert list(r.out_neighbors(1)) == [0]
+        assert list(r.out_neighbors(2)) == [0]
+        assert r.degree(0) == 0
+
+    def test_double_reverse_is_identity(self):
+        g = CSRGraph.from_edges([(0, 1), (2, 1), (1, 2)], n=3)
+        rr = g.reversed().reversed()
+        assert np.array_equal(rr.offsets, g.offsets)
+        assert np.array_equal(rr.neighbors, g.neighbors)
+
+    def test_is_symmetric(self):
+        sym = CSRGraph.from_edges([(0, 1)], n=2, symmetrize=True)
+        asym = CSRGraph.from_edges([(0, 1)], n=2)
+        assert sym.is_symmetric()
+        assert not asym.is_symmetric()
+
+    def test_edges_iterator(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)], n=3)
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+
+@settings(max_examples=50)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=60
+    )
+)
+def test_csr_invariants(edges):
+    g = CSRGraph.from_edges(edges, n=16, symmetrize=True)
+    # degrees sum to m, offsets monotone, neighbors in range
+    assert g.degrees.sum() == g.m
+    assert np.all(np.diff(g.offsets) >= 0)
+    if g.m:
+        assert g.neighbors.min() >= 0 and g.neighbors.max() < 16
+    # symmetrized + dedup = symmetric simple graph
+    assert g.is_symmetric()
+    for v in range(16):
+        nbrs = list(g.out_neighbors(v))
+        assert nbrs == sorted(set(nbrs))  # sorted, no dups
+        assert v not in nbrs  # no self loops

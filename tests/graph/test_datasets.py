@@ -1,0 +1,47 @@
+"""Named dataset stand-ins."""
+
+import pytest
+
+from repro.graph import dataset_names, dataset_spec, load_dataset
+
+
+class TestDatasets:
+    def test_all_paper_graphs_present(self):
+        names = dataset_names()
+        for required in (
+            "rmat-s12",
+            "rmat-s10",
+            "erdos-renyi",
+            "forest-fire",
+            "soc-livej",
+            "com-orkut",
+            "twitter",
+            "friendster",
+        ):
+            assert required in names
+
+    def test_specs_document_originals(self):
+        spec = dataset_spec("soc-livej")
+        assert "LiveJournal" in spec.stands_in_for
+
+    def test_loading_is_memoized(self):
+        a = load_dataset("rmat-s10")
+        b = load_dataset("rmat-s10")
+        assert a is b
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="available"):
+            load_dataset("no-such-graph")
+
+    def test_orkut_denser_than_livej(self):
+        """Stand-ins preserve relative density (orkut ef ~38 vs livej ~14)."""
+        lj = load_dataset("soc-livej")
+        ok = load_dataset("com-orkut")
+        assert ok.m / ok.n > 1.5 * lj.m / lj.n
+
+    def test_twitter_skewier_than_er(self):
+        tw = load_dataset("twitter")
+        er = load_dataset("erdos-renyi")
+        skew_tw = tw.max_degree / tw.degrees.mean()
+        skew_er = er.max_degree / er.degrees.mean()
+        assert skew_tw > 3 * skew_er

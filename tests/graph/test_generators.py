@@ -1,0 +1,153 @@
+"""Graph generators: RMAT, ER, Forest Fire, utility graphs."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    erdos_renyi,
+    forest_fire,
+    path_graph,
+    rmat,
+    rmat_edges,
+    star_graph,
+)
+from repro.graph.generators import RMAT_A, RMAT_B, RMAT_C
+
+
+class TestRMAT:
+    def test_artifact_parameters(self):
+        """a=0.57, b=0.19, c=0.19, edge factor 16 (artifact appendix)."""
+        assert (RMAT_A, RMAT_B, RMAT_C) == (0.57, 0.19, 0.19)
+
+    def test_raw_edge_count(self):
+        e = rmat_edges(8, edge_factor=16, seed=0)
+        assert len(e) == 16 * 256
+        assert e.min() >= 0 and e.max() < 256
+
+    def test_deterministic_by_seed(self):
+        a = rmat_edges(6, seed=5)
+        b = rmat_edges(6, seed=5)
+        c = rmat_edges(6, seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_skewed_degrees(self):
+        """RMAT's point: heavy-tailed degree distribution."""
+        g = rmat(10, seed=48)
+        degs = g.degrees
+        assert degs.max() > 8 * degs.mean()
+
+    def test_symmetrized_by_default(self):
+        g = rmat(6, seed=0)
+        assert g.is_symmetric()
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(Exception):
+            rmat_edges(0)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(Exception):
+            rmat_edges(4, a=0.9, b=0.9, c=0.9)
+
+
+class TestErdosRenyi:
+    def test_uniform_degrees(self):
+        g = erdos_renyi(512, avg_degree=16.0, seed=0)
+        degs = g.degrees
+        # no heavy tail: max degree within a small factor of the mean
+        assert degs.max() < 4 * degs.mean()
+
+    def test_size_scales_with_avg_degree(self):
+        g8 = erdos_renyi(256, 8.0, seed=1)
+        g16 = erdos_renyi(256, 16.0, seed=1)
+        assert g16.m > g8.m
+
+    def test_too_small_rejected(self):
+        with pytest.raises(Exception):
+            erdos_renyi(1)
+
+
+class TestForestFire:
+    def test_connected_ish_and_heavy_tailed(self):
+        g = forest_fire(256, forward_prob=0.35, seed=3)
+        assert g.n == 256
+        assert (g.degrees > 0).all()  # every new vertex links somewhere
+        assert g.is_symmetric()
+
+    def test_burn_probability_bounds(self):
+        with pytest.raises(Exception):
+            forest_fire(16, forward_prob=1.0)
+
+    def test_higher_burn_gives_denser_graph(self):
+        sparse = forest_fire(128, forward_prob=0.1, seed=1)
+        dense = forest_fire(128, forward_prob=0.5, seed=1)
+        assert dense.m > sparse.m
+
+
+class TestUtilityGraphs:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.m == 8  # 4 undirected edges
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.m == 20
+        assert g.max_degree == 4
+
+    def test_star(self):
+        g = star_graph(10)
+        assert g.degree(0) == 9
+        assert all(g.degree(i) == 1 for i in range(1, 10))
+
+
+class TestGridAndSmallWorld:
+    def test_grid_shape(self):
+        from repro.graph import grid_graph
+
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 2 * (3 * 3 + 2 * 4)  # directed count of mesh edges
+        assert g.max_degree == 4
+        assert g.is_symmetric()
+
+    def test_grid_corner_degrees(self):
+        from repro.graph import grid_graph
+
+        g = grid_graph(3, 3)
+        assert g.degree(0) == 2  # corner
+        assert g.degree(4) == 4  # center
+
+    def test_grid_validation(self):
+        from repro.graph import grid_graph
+        from repro.graph import GraphError
+        import pytest
+
+        with pytest.raises(GraphError):
+            grid_graph(0, 5)
+
+    def test_watts_strogatz_properties(self):
+        from repro.graph import watts_strogatz
+
+        g = watts_strogatz(64, k=4, rewire_prob=0.2, seed=3)
+        assert g.n == 64
+        assert g.is_symmetric()
+        # ~ n*k/2 undirected edges (rewiring may drop a few duplicates)
+        assert 0.8 * 64 * 4 <= g.m <= 64 * 4
+
+    def test_watts_strogatz_zero_rewire_is_ring(self):
+        from repro.graph import watts_strogatz
+
+        g = watts_strogatz(16, k=2, rewire_prob=0.0, seed=0)
+        assert all(g.degree(v) == 2 for v in range(16))
+
+    def test_watts_strogatz_validation(self):
+        from repro.graph import watts_strogatz
+        from repro.graph import GraphError
+        import pytest
+
+        with pytest.raises(GraphError):
+            watts_strogatz(10, k=3)  # odd k
+        with pytest.raises(GraphError):
+            watts_strogatz(10, k=4, rewire_prob=2.0)

@@ -1,0 +1,64 @@
+"""Binary graph IO: the *_gv.bin / *_nl.bin format."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    VERTEX_STRIDE_WORDS,
+    csr_from_records,
+    load_graph,
+    rmat,
+    save_graph,
+    split_and_shuffle,
+    vertex_records,
+)
+
+
+class TestVertexRecords:
+    def test_unsplit_records(self, rmat_s6):
+        rec = vertex_records(rmat_s6)
+        assert rec.shape == (rmat_s6.n, VERTEX_STRIDE_WORDS)
+        assert np.array_equal(rec[:, 0], np.arange(rmat_s6.n))  # rep = id
+        assert np.array_equal(rec[:, 1], rmat_s6.degrees)
+        assert np.array_equal(rec[:, 3], rmat_s6.degrees)  # orig == degree
+
+    def test_split_records(self, rmat_s6):
+        s = split_and_shuffle(rmat_s6, 8)
+        rec = vertex_records(rmat_s6, s)
+        assert rec.shape == (s.n_sub, VERTEX_STRIDE_WORDS)
+        assert np.array_equal(rec[:, 0], s.rep)
+        assert np.array_equal(rec[:, 3], s.orig_degree[s.rep])
+        # offsets point at each sub's neighbor run
+        assert np.array_equal(rec[:, 2], s.graph.offsets[:-1])
+
+
+class TestRoundTrip:
+    def test_save_load_unsplit(self, tmp_path, rmat_s6):
+        prefix = tmp_path / "g"
+        gv, nl = save_graph(prefix, rmat_s6)
+        assert gv.exists() and nl.exists()
+        rec, nbrs, meta = load_graph(prefix)
+        assert meta["n"] == rmat_s6.n and meta["m"] == rmat_s6.m
+        g2 = csr_from_records(rec, nbrs)
+        assert np.array_equal(g2.offsets, rmat_s6.offsets)
+        assert np.array_equal(g2.neighbors, rmat_s6.neighbors)
+
+    def test_save_load_split(self, tmp_path, rmat_s6):
+        s = split_and_shuffle(rmat_s6, 8)
+        prefix = tmp_path / "gs"
+        save_graph(prefix, rmat_s6, s)
+        rec, nbrs, meta = load_graph(prefix)
+        assert meta["n"] == s.n_sub
+        assert meta["n_orig"] == rmat_s6.n
+        assert meta["max_degree"] == 8
+        g2 = csr_from_records(rec, nbrs)
+        assert np.array_equal(g2.neighbors, s.graph.neighbors)
+
+    def test_corrupt_sidecar_detected(self, tmp_path, rmat_s6):
+        prefix = tmp_path / "g"
+        gv, _ = save_graph(prefix, rmat_s6)
+        # truncate the vertex binary
+        data = gv.read_bytes()
+        gv.write_bytes(data[: len(data) // 2])
+        with pytest.raises(OSError, match="disagrees"):
+            load_graph(prefix)

@@ -1,0 +1,92 @@
+"""Failure injection: resource exhaustion and guard rails fault loudly."""
+
+import pytest
+
+from repro.apps import BFSApp
+from repro.graph import star_graph
+from repro.machine import bench_machine
+from repro.memmodel import ScratchpadError
+from repro.udweave import UDThread, UpDownRuntime, event
+
+
+class TestScratchpadExhaustion:
+    def test_sp_malloc_through_context(self):
+        rt = UpDownRuntime(bench_machine(nodes=1), sp_capacity_words=32)
+        offsets = []
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                offsets.append(ctx.sp_malloc(16))
+                offsets.append(ctx.sp_malloc(16))
+                ctx.yield_terminate()
+
+        rt.start(0, "T::go")
+        rt.run()
+        assert offsets == [0, 16]
+
+    def test_exhaustion_raises_with_lane_identity(self):
+        rt = UpDownRuntime(bench_machine(nodes=1), sp_capacity_words=8)
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                ctx.sp_malloc(8)
+                ctx.sp_malloc(1)
+
+        rt.start(0, "T::go")
+        with pytest.raises(ScratchpadError, match="lane 0"):
+            rt.run()
+
+    def test_lanes_have_independent_arenas(self):
+        rt = UpDownRuntime(bench_machine(nodes=1), sp_capacity_words=8)
+        got = []
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                ctx.sp_malloc(8)  # fill lane 0
+                ctx.spawn(1, "T::other")
+                ctx.yield_terminate()
+
+            @event
+            def other(self, ctx):
+                got.append(ctx.sp_malloc(8))  # lane 1 is fresh
+                ctx.yield_terminate()
+
+        rt.start(0, "T::go")
+        rt.run()
+        assert got == [0]
+
+
+class TestFrontierOverflow:
+    def test_bfs_frontier_overflow_faults(self):
+        """An undersized frontier segment fails loudly, not silently."""
+        g = star_graph(256)  # everything lands in round 1
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        app = BFSApp(
+            rt, g, max_degree=1024, frontier_cap=16, block_size=4096
+        )
+        with pytest.raises(RuntimeError, match="frontier segment overflow"):
+            app.run(root=0, max_events=5_000_000)
+
+
+class TestRunawayGuard:
+    def test_max_events_stops_infinite_programs(self):
+        from repro.machine import SimulationError
+
+        rt = UpDownRuntime(bench_machine(nodes=1))
+
+        @rt.register
+        class Loop(UDThread):
+            @event
+            def go(self, ctx):
+                ctx.send_event(ctx.self_evw("go"))
+                ctx.yield_()
+
+        rt.start(0, "Loop::go")
+        with pytest.raises(SimulationError, match="max_events"):
+            rt.run(max_events=500)

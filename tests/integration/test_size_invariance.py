@@ -1,0 +1,92 @@
+"""Machine-size invariance: the answer never depends on the machine.
+
+The artifact's third expected result: "the algorithms do not need to be
+adapted as more computational resources become available.  The resource
+binding is completed by the KVMSR library."  Corollary: results are
+identical (to float tolerance where accumulation order matters) across
+every machine size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    BFSApp,
+    ConnectedComponentsApp,
+    IngestionApp,
+    PageRankApp,
+    TriangleCountApp,
+    make_workload,
+)
+from repro.datastruct import GlobalSortApp
+from repro.graph import rmat
+from repro.machine import bench_machine
+from repro.udweave import UpDownRuntime
+
+SIZES = (1, 3, 8)  # deliberately includes a non-power-of-two
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(7, seed=48)
+
+
+class TestSizeInvariance:
+    def test_pagerank_ranks(self, graph):
+        ranks = {}
+        for nodes in SIZES:
+            rt = UpDownRuntime(bench_machine(nodes=nodes))
+            app = PageRankApp(rt, graph, max_degree=16, block_size=4096)
+            ranks[nodes] = app.run(max_events=10_000_000).ranks
+        for nodes in SIZES[1:]:
+            assert np.allclose(ranks[SIZES[0]], ranks[nodes], atol=1e-12)
+
+    def test_bfs_distances(self, graph):
+        dists = {}
+        for nodes in SIZES:
+            rt = UpDownRuntime(bench_machine(nodes=nodes))
+            app = BFSApp(rt, graph, max_degree=16, block_size=4096)
+            dists[nodes] = app.run(root=0, max_events=10_000_000).distances
+        for nodes in SIZES[1:]:
+            assert np.array_equal(dists[SIZES[0]], dists[nodes])
+
+    def test_triangle_count(self, graph):
+        counts = set()
+        for nodes in SIZES:
+            rt = UpDownRuntime(bench_machine(nodes=nodes))
+            app = TriangleCountApp(rt, graph, block_size=4096)
+            counts.add(app.run(max_events=20_000_000).triangles)
+        assert len(counts) == 1
+
+    def test_components_labels(self, graph):
+        labels = {}
+        for nodes in SIZES:
+            rt = UpDownRuntime(bench_machine(nodes=nodes))
+            app = ConnectedComponentsApp(rt, graph, block_size=4096)
+            labels[nodes] = app.run(max_events=30_000_000).labels
+        for nodes in SIZES[1:]:
+            assert np.array_equal(labels[SIZES[0]], labels[nodes])
+
+    def test_ingestion_tables(self):
+        records = make_workload(60, seed=5)
+        snapshots = []
+        for nodes in SIZES:
+            rt = UpDownRuntime(bench_machine(nodes=nodes))
+            app = IngestionApp(rt, records, block_words=16)
+            app.run(max_events=10_000_000)
+            v, e = app.pga.snapshot()
+            snapshots.append((set(v), set(e)))
+        assert all(s == snapshots[0] for s in snapshots[1:])
+
+    def test_sort_output(self):
+        rng = np.random.default_rng(3)
+        vals = rng.integers(0, 5000, 200)
+        outs = []
+        for nodes in SIZES:
+            rt = UpDownRuntime(bench_machine(nodes=nodes))
+            res = GlobalSortApp(rt, vals, nbuckets=8).run(
+                max_events=5_000_000
+            )
+            outs.append(res.output)
+        for out in outs[1:]:
+            assert np.array_equal(outs[0], out)

@@ -1,0 +1,77 @@
+"""WF2 workflow composition + perflog format."""
+
+import pytest
+
+from repro.apps import Pattern, make_workload, reference_matches, reference_multihop
+from repro.machine import bench_machine
+from repro.workflows import WF2Workflow
+
+
+@pytest.fixture(scope="module")
+def wf2_result():
+    records = make_workload(100, n_vertices=25, n_edge_types=3, seed=13)
+    wf = WF2Workflow(
+        bench_machine(nodes=4),
+        patterns=[Pattern(0, (0, 1)), Pattern(1, (2, 2))],
+        seeds=[1, 3],
+        hops=2,
+    )
+    report = wf.run(records, gap_cycles=60_000, max_events=20_000_000)
+    return records, wf, report
+
+
+class TestWF2:
+    def test_all_phases_produce_results(self, wf2_result):
+        records, wf, report = wf2_result
+        assert report.records == len(records)
+        assert set(report.phase_seconds) == {
+            "k1_ingest",
+            "k4_match_mean_latency",
+            "reasoning",
+        }
+        assert all(v > 0 for v in report.phase_seconds.values())
+
+    def test_alerts_match_oracle(self, wf2_result):
+        records, wf, report = wf2_result
+        got = sorted((a[0], a[1]) for a in report.alerts)
+        want = sorted(
+            (a[0], a[1]) for a in reference_matches(records, wf.patterns)
+        )
+        assert got == want
+
+    def test_reasoning_matches_oracle(self, wf2_result):
+        records, wf, report = wf2_result
+        assert report.reached == reference_multihop(
+            records, wf.seeds, wf.hops
+        )
+
+    def test_perflog_has_listing21_shape(self, wf2_result, tmp_path):
+        _records, _wf, report = wf2_result
+        path = report.write_perflog(tmp_path / "perflog.tsv")
+        lines = path.read_text().strip().split("\n")
+        header = lines[0].split("\t")
+        assert header[:4] == ["HOST_SEC", "FINAL_TICK", "SIM_TICKS", "SIM_SEC"]
+        assert "MSG_STR" in header
+        started = [l for l in lines if "UDKVMSR started" in l]
+        finished = [l for l in lines if "UDKVMSR finished" in l]
+        assert started and len(started) == len(finished)
+        # every data row parses into the full column set
+        for line in lines[1:3]:
+            assert len(line.split("\t")) == len(header)
+
+    def test_phase_markers_extractable(self, wf2_result):
+        """The artifact's timing recipe works on our log: diff the ticks
+        of the started/finished markers (Listing 21's extraction)."""
+        _records, _wf, report = wf2_result
+        rows = [
+            l.split("\t")
+            for l in report.perflog.split("\n")[1:]
+            if "wf2k1" in l
+        ]
+        started = [r for r in rows if "UDKVMSR started" in r[-1]]
+        finished = [r for r in rows if "UDKVMSR finished" in r[-1]]
+        ticks = int(finished[-1][1]) - int(started[0][1])
+        assert ticks > 0
+        assert ticks / 2e9 == pytest.approx(
+            report.phase_seconds["k1_ingest"], rel=0.01
+        )

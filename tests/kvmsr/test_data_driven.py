@@ -1,0 +1,84 @@
+"""Data-driven binding (§2.3's "future" scheme, implemented)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pagerank import PageRankApp
+from repro.baselines import pagerank as ref_pagerank
+from repro.kvmsr import DataDrivenBinding, LaneSet
+from repro.machine import bench_machine
+from repro.udweave import UpDownRuntime
+
+
+class TestBinding:
+    def test_places_task_on_owning_node(self):
+        rt = UpDownRuntime(bench_machine(nodes=4))
+        cfg = rt.config
+        region = rt.gmem.dram_malloc(
+            4 * 4096, 0, 4, 4096, name="data"
+        )  # one 4KB block per node, cyclic
+        binding = DataDrivenBinding(
+            rt.gmem, lambda k: region.addr(k * 512), cfg
+        )
+        lanes = LaneSet.whole_machine(cfg)
+        for key in range(4):
+            lane = binding.lane_for(key, lanes)
+            va = region.addr(key * 512)
+            assert cfg.node_of(lane) == rt.gmem.node_of(va)
+
+    def test_falls_back_when_node_has_no_lanes(self):
+        rt = UpDownRuntime(bench_machine(nodes=4))
+        cfg = rt.config
+        region = rt.gmem.dram_malloc(4 * 4096, 0, 4, 4096, name="data")
+        binding = DataDrivenBinding(
+            rt.gmem, lambda k: region.addr(k * 512), cfg
+        )
+        node0_only = LaneSet.nodes(cfg, 0, 1)
+        # keys on nodes 1-3 must still resolve to a lane in the set
+        for key in range(4):
+            assert binding.lane_for(key, node0_only) in set(node0_only)
+
+    def test_balanced_within_node(self):
+        rt = UpDownRuntime(bench_machine(nodes=2, lanes_per_accel=8))
+        cfg = rt.config
+        region = rt.gmem.dram_malloc(2 * 4096, 0, 2, 4096, name="data")
+        binding = DataDrivenBinding(
+            rt.gmem, lambda k: region.addr(k % 512), cfg
+        )
+        lanes = LaneSet.whole_machine(cfg)
+        used = {binding.lane_for(k, lanes) for k in range(200)}
+        # all of node 0's lanes receive work (keys all map to block 0)
+        assert len(used) == cfg.lanes_per_node
+
+
+class TestPageRankDataPlacement:
+    def test_same_answer_as_hash(self, rmat_s6):
+        results = {}
+        for placement in ("hash", "data"):
+            rt = UpDownRuntime(bench_machine(nodes=4))
+            app = PageRankApp(
+                rt, rmat_s6, max_degree=16, block_size=4096,
+                reduce_placement=placement,
+            )
+            results[placement] = app.run(max_events=10_000_000)
+        expected = ref_pagerank(rmat_s6, 1)
+        for placement, res in results.items():
+            assert np.abs(res.ranks - expected).max() < 1e-9, placement
+
+    def test_data_placement_localizes_flush_writes(self, rmat_s7):
+        """The point of the scheme: accumulator flushes hit local DRAM."""
+        remote = {}
+        for placement in ("hash", "data"):
+            rt = UpDownRuntime(bench_machine(nodes=4))
+            app = PageRankApp(
+                rt, rmat_s7, max_degree=16, block_size=4096,
+                reduce_placement=placement,
+            )
+            app.run(max_events=10_000_000)
+            remote[placement] = rt.sim.stats.dram_remote_accesses
+        assert remote["data"] < remote["hash"]
+
+    def test_invalid_placement_rejected(self, rmat_s6):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        with pytest.raises(ValueError):
+            PageRankApp(rt, rmat_s6, reduce_placement="nope")

@@ -1,0 +1,332 @@
+"""KVMSR engine: full map-shuffle-reduce protocol."""
+
+import pytest
+
+from repro.kvmsr import (
+    BlockBinding,
+    KVMSRError,
+    KVMSRJob,
+    ListInput,
+    MapTask,
+    PBMWBinding,
+    RangeInput,
+    ReduceTask,
+    job_of,
+)
+from repro.machine import bench_machine
+from repro.udweave import UpDownRuntime
+
+
+class EmitPerKeyMap(MapTask):
+    """Emits <key % 3, key> once per key."""
+
+    def kv_map(self, ctx, key):
+        self.kv_emit(ctx, key % 3, key)
+        self.kv_map_return(ctx)
+
+
+class CollectReduce(ReduceTask):
+    def kv_reduce(self, ctx, key, value):
+        job_of(ctx, self._job_id).payload.setdefault(key, []).append(value)
+        self.kv_reduce_return(ctx)
+
+
+def run_job(nodes=2, n_keys=30, **job_kw):
+    rt = UpDownRuntime(bench_machine(nodes=nodes))
+    sink = {}
+    job = KVMSRJob(
+        rt,
+        EmitPerKeyMap,
+        RangeInput(n_keys),
+        reduce_cls=CollectReduce,
+        payload=sink,
+        **job_kw,
+    )
+    job.launch()
+    stats = rt.run(max_events=2_000_000)
+    done = rt.host_messages("kvmsr_done")
+    assert len(done) == 1
+    return rt, sink, done[0].operands, stats
+
+
+class TestProtocol:
+    def test_all_keys_mapped_and_reduced(self):
+        _rt, sink, (tasks, emitted, _polls, _fv), _ = run_job(n_keys=30)
+        assert tasks == 30
+        assert emitted == 30
+        got = sorted(v for vs in sink.values() for v in vs)
+        assert got == list(range(30))
+
+    def test_reduce_keys_grouped_correctly(self):
+        _rt, sink, _ops, _ = run_job(n_keys=30)
+        for k, values in sink.items():
+            assert all(v % 3 == k for v in values)
+
+    def test_zero_keys_completes_immediately(self):
+        _rt, sink, (tasks, emitted, _p, _f), _ = run_job(n_keys=0)
+        assert tasks == 0 and emitted == 0 and sink == {}
+
+    def test_single_key(self):
+        _rt, sink, (tasks, emitted, _p, _f), _ = run_job(n_keys=1)
+        assert tasks == 1 and emitted == 1
+        assert sink == {0: [0]}
+
+    def test_more_lanes_than_keys(self):
+        _rt, sink, (tasks, _e, _p, _f), _ = run_job(nodes=4, n_keys=5)
+        assert tasks == 5
+
+    def test_map_only_job(self):
+        rt = UpDownRuntime(bench_machine(nodes=2))
+        seen = []
+
+        class MapOnly(MapTask):
+            def kv_map(self, ctx, key):
+                seen.append(key)
+                self.kv_map_return(ctx)
+
+        KVMSRJob(rt, MapOnly, RangeInput(10)).launch()
+        rt.run(max_events=200_000)
+        assert sorted(seen) == list(range(10))
+
+    def test_emit_without_reduce_raises(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+
+        class BadMap(MapTask):
+            def kv_map(self, ctx, key):
+                self.kv_emit(ctx, 0, 1)
+                self.kv_map_return(ctx)
+
+        KVMSRJob(rt, BadMap, RangeInput(1)).launch()
+        with pytest.raises(KVMSRError, match="no reduce phase"):
+            rt.run(max_events=100_000)
+
+    def test_job_relaunch_reuses_state(self):
+        """PR iterations / BFS rounds relaunch the same job object."""
+        rt = UpDownRuntime(bench_machine(nodes=2))
+        sink = {}
+        job = KVMSRJob(
+            rt,
+            EmitPerKeyMap,
+            RangeInput(12),
+            reduce_cls=CollectReduce,
+            payload=sink,
+        )
+        job.launch()
+        rt.run(max_events=500_000)
+        job.launch()
+        rt.run(max_events=500_000)
+        assert len(rt.host_messages("kvmsr_done")) == 2
+        got = sorted(v for vs in sink.values() for v in vs)
+        assert got == sorted(list(range(12)) * 2)
+
+    def test_list_input_passes_values(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        seen = []
+
+        class LMap(MapTask):
+            def kv_map(self, ctx, key, a, b):
+                seen.append((key, a, b))
+                self.kv_map_return(ctx)
+
+        KVMSRJob(
+            rt, LMap, ListInput([("x", (1, 2)), ("y", (3, 4))])
+        ).launch()
+        rt.run(max_events=100_000)
+        assert sorted(seen) == [("x", 1, 2), ("y", 3, 4)]
+
+    def test_completion_reports_poll_rounds(self):
+        _rt, _sink, (_t, _e, polls, _f), _ = run_job(n_keys=30)
+        assert polls >= 1  # at least one quiescence round ran
+
+
+class TestValidation:
+    def test_map_cls_must_subclass(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+
+        class NotATask:
+            pass
+
+        with pytest.raises(KVMSRError):
+            KVMSRJob(rt, NotATask, RangeInput(1))
+
+    def test_reduce_cls_must_subclass(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        with pytest.raises(KVMSRError):
+            KVMSRJob(
+                rt, EmitPerKeyMap, RangeInput(1), reduce_cls=EmitPerKeyMap
+            )
+
+    def test_max_inflight_positive(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        with pytest.raises(KVMSRError):
+            KVMSRJob(rt, EmitPerKeyMap, RangeInput(1), max_inflight=0)
+
+    def test_unknown_job_id(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+
+        class Bad(MapTask):
+            def kv_map(self, ctx, key):
+                job_of(ctx, 999)
+
+        KVMSRJob(rt, Bad, RangeInput(1)).launch()
+        with pytest.raises(KVMSRError, match="unknown"):
+            rt.run(max_events=100_000)
+
+
+class TestThrottling:
+    def test_inflight_bounded(self):
+        """At most max_inflight map tasks live per lane at any instant."""
+        rt = UpDownRuntime(
+            bench_machine(nodes=1, accels_per_node=1, lanes_per_accel=1)
+        )
+        live = {"now": 0, "peak": 0}
+
+        from repro.udweave import event
+
+        class Tracker(MapTask):
+            def kv_map(self, ctx, key):
+                live["now"] += 1
+                live["peak"] = max(live["peak"], live["now"])
+                # hold the task open across a self-send so tasks coexist
+                ctx.send_event(ctx.self_evw("finish"))
+                ctx.yield_()
+
+            @event
+            def finish(self, ctx):
+                live["now"] -= 1
+                self.kv_map_return(ctx)
+
+        KVMSRJob(rt, Tracker, RangeInput(40), max_inflight=4).launch()
+        rt.run(max_events=500_000)
+        assert live["peak"] <= 4
+
+
+class TestPBMW:
+    def test_pbmw_completes_all_keys(self):
+        _rt, sink, (tasks, emitted, _p, _f), _ = run_job(
+            n_keys=50,
+            map_binding=PBMWBinding(initial_fraction=0.4, chunk_size=4),
+        )
+        assert tasks == 50 and emitted == 50
+        got = sorted(v for vs in sink.values() for v in vs)
+        assert got == list(range(50))
+
+    def test_pbmw_grants_spread_work(self):
+        """Dynamic grants reach multiple lanes, not just one hungry lane."""
+        rt = UpDownRuntime(bench_machine(nodes=4))
+        lanes_used = set()
+
+        class WhereMap(MapTask):
+            def kv_map(self, ctx, key):
+                lanes_used.add(ctx.network_id)
+                self.kv_map_return(ctx)
+
+        KVMSRJob(
+            rt,
+            WhereMap,
+            RangeInput(128),
+            map_binding=PBMWBinding(initial_fraction=0.25, chunk_size=2),
+        ).launch()
+        rt.run(max_events=2_000_000)
+        assert len(lanes_used) > 4
+
+
+class TestGroupingProperty:
+    def test_random_emit_patterns_group_exactly(self):
+        """Property: for any random multiset of emits, every tuple reaches
+        exactly one reducer, grouped by key."""
+        import random
+
+        from repro.machine import bench_machine
+        from repro.udweave import UpDownRuntime
+
+        rng = random.Random(7)
+        for trial in range(5):
+            n_keys = rng.randint(1, 40)
+            fanout = [rng.randint(0, 6) for _ in range(n_keys)]
+
+            rt = UpDownRuntime(bench_machine(nodes=2))
+            sink = {}
+
+            class FanMap(MapTask):
+                def kv_map(self, ctx, key):
+                    for j in range(fanout[key]):
+                        self.kv_emit(ctx, (key, j), key * 1000 + j)
+                    self.kv_map_return(ctx)
+
+            FanMap.__name__ = f"FanMap{trial}"
+
+            class Collect(CollectReduce):
+                pass
+
+            Collect.__name__ = f"Collect{trial}"
+
+            job = KVMSRJob(
+                rt, FanMap, RangeInput(n_keys), reduce_cls=Collect,
+                payload=sink,
+            )
+            job.launch()
+            rt.run(max_events=3_000_000)
+            expected = {
+                (k, j): [k * 1000 + j]
+                for k in range(n_keys)
+                for j in range(fanout[k])
+            }
+            assert sink == expected, trial
+
+
+class TestLaneSetRestriction:
+    def test_disjoint_map_and_reduce_lane_sets(self):
+        """§2.3: each KVMSR invocation targets a set of lanes — map and
+        reduce sets may differ (e.g. BFS maps on accel masters, reduces
+        everywhere)."""
+        from repro.kvmsr import LaneSet
+
+        rt = UpDownRuntime(bench_machine(nodes=4))
+        cfg = rt.config
+        map_lanes = LaneSet.nodes(cfg, 0, 2)     # nodes 0-1
+        reduce_lanes = LaneSet.nodes(cfg, 2, 2)  # nodes 2-3
+        map_seen, reduce_seen = set(), set()
+
+        class WhereMap(MapTask):
+            def kv_map(self, ctx, key):
+                map_seen.add(ctx.node)
+                self.kv_emit(ctx, key, key)
+                self.kv_map_return(ctx)
+
+        class WhereReduce(ReduceTask):
+            def kv_reduce(self, ctx, key, value):
+                reduce_seen.add(ctx.node)
+                self.kv_reduce_return(ctx)
+
+        job = KVMSRJob(
+            rt,
+            WhereMap,
+            RangeInput(40),
+            reduce_cls=WhereReduce,
+            lanes=map_lanes,
+            reduce_lanes=reduce_lanes,
+        )
+        job.launch()
+        rt.run(max_events=2_000_000)
+        assert rt.host_messages("kvmsr_done")
+        assert map_seen <= {0, 1} and map_seen
+        assert reduce_seen <= {2, 3} and reduce_seen
+
+    def test_single_lane_job(self):
+        from repro.kvmsr import LaneSet
+
+        rt = UpDownRuntime(bench_machine(nodes=2))
+        sink = {}
+        job = KVMSRJob(
+            rt,
+            EmitPerKeyMap,
+            RangeInput(9),
+            reduce_cls=CollectReduce,
+            lanes=LaneSet([3]),
+            payload=sink,
+        )
+        job.launch()
+        rt.run(max_events=500_000)
+        got = sorted(v for vs in sink.values() for v in vs)
+        assert got == list(range(9))

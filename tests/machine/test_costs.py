@@ -1,0 +1,53 @@
+"""Table 2 lane-operation costs."""
+
+import pytest
+
+from repro.machine import CLOCK_HZ, DEFAULT_COSTS, CostTable
+from repro.machine.costs import (
+    SEND_DRAM,
+    SEND_MESSAGE,
+    THREAD_CREATE,
+    THREAD_DEALLOCATE,
+    THREAD_YIELD,
+)
+
+
+class TestTable2Values:
+    """The exact costs the paper's Table 2 specifies."""
+
+    def test_thread_create_is_free(self):
+        assert THREAD_CREATE == 0
+
+    def test_thread_yield_one_cycle(self):
+        assert THREAD_YIELD == 1
+
+    def test_thread_deallocate_one_cycle(self):
+        assert THREAD_DEALLOCATE == 1
+
+    def test_scratchpad_access_one_cycle(self):
+        assert DEFAULT_COSTS.scratchpad_access == 1
+
+    def test_send_message_one_to_two_cycles(self):
+        assert SEND_MESSAGE == 1
+        assert DEFAULT_COSTS.send_message_with_cont == 2
+
+    def test_send_dram_one_to_two_cycles(self):
+        assert SEND_DRAM == 1
+        assert DEFAULT_COSTS.send_dram_with_cont == 2
+
+    def test_clock_is_2ghz(self):
+        assert CLOCK_HZ == 2_000_000_000
+
+
+class TestCostTable:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CostTable(send_message=-1).validate()
+
+    def test_custom_table_is_frozen(self):
+        table = CostTable(instruction=2)
+        with pytest.raises(AttributeError):
+            table.instruction = 3
+
+    def test_default_validates(self):
+        DEFAULT_COSTS.validate()

@@ -1,0 +1,63 @@
+"""Lane model: thread tables, busy-clock accounting, TID recycling."""
+
+from repro.machine.lane import Lane
+
+
+class TestThreadTable:
+    def test_allocate_and_get(self):
+        lane = Lane(0, node=0, accel=0)
+        obj = object()
+        tid = lane.allocate_thread(obj)
+        assert lane.get_thread(tid) is obj
+        assert lane.live_threads == 1
+
+    def test_deallocate_frees_and_recycles(self):
+        lane = Lane(0, 0, 0)
+        t0 = lane.allocate_thread("a")
+        t1 = lane.allocate_thread("b")
+        lane.deallocate_thread(t0)
+        assert lane.get_thread(t0) is None
+        t2 = lane.allocate_thread("c")
+        assert t2 == t0  # recycled
+        assert lane.get_thread(t1) == "b"
+
+    def test_tids_unique_among_live(self):
+        lane = Lane(0, 0, 0)
+        tids = [lane.allocate_thread(i) for i in range(100)]
+        assert len(set(tids)) == 100
+
+    def test_double_deallocate_is_noop(self):
+        lane = Lane(0, 0, 0)
+        tid = lane.allocate_thread("x")
+        lane.deallocate_thread(tid)
+        lane.deallocate_thread(tid)
+        # the free list must not contain the tid twice
+        a = lane.allocate_thread("y")
+        b = lane.allocate_thread("z")
+        assert a != b
+
+    def test_bounded_tids_under_churn(self):
+        """Create/destroy cycles keep the TID space compact (the event
+        word's thread field is only 16 bits)."""
+        lane = Lane(0, 0, 0)
+        for _ in range(10_000):
+            tid = lane.allocate_thread("t")
+            lane.deallocate_thread(tid)
+        assert lane._next_tid <= 1
+
+
+class TestBusyClock:
+    def test_account_execution_advances_clock(self):
+        lane = Lane(0, 0, 0)
+        end = lane.account_execution(start=10.0, cycles=5.0)
+        assert end == 15.0
+        assert lane.busy_until == 15.0
+        assert lane.busy_cycles == 5.0
+        assert lane.events_executed == 1
+
+    def test_busy_cycles_accumulate(self):
+        lane = Lane(0, 0, 0)
+        lane.account_execution(0.0, 3.0)
+        lane.account_execution(3.0, 4.0)
+        assert lane.busy_cycles == 7.0
+        assert lane.events_executed == 2

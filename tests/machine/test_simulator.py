@@ -1,0 +1,188 @@
+"""DES core: ordering, lane serialization, DRAM transactions, host mailbox."""
+
+import pytest
+
+from repro.machine import (
+    HOST_NWID,
+    MessageRecord,
+    SimulationError,
+    Simulator,
+    bench_machine,
+)
+from repro.machine.events import NEW_THREAD
+
+
+def null_dispatcher(cycles=5.0):
+    executed = []
+
+    def dispatch(sim, lane, record, start):
+        executed.append((lane.network_id, record.label, start))
+        return cycles
+
+    dispatch.executed = executed
+    return dispatch
+
+
+@pytest.fixture
+def sim():
+    s = Simulator(bench_machine(nodes=2), dispatcher=null_dispatcher())
+    return s
+
+
+class TestExecution:
+    def test_requires_dispatcher(self):
+        s = Simulator(bench_machine(nodes=1))
+        s.inject(MessageRecord(0, NEW_THREAD, "x"))
+        with pytest.raises(SimulationError):
+            s.run()
+
+    def test_lane_serializes_events(self):
+        disp = null_dispatcher(cycles=10.0)
+        s = Simulator(bench_machine(nodes=1), dispatcher=disp)
+        s.inject(MessageRecord(0, NEW_THREAD, "a"), t=0.0)
+        s.inject(MessageRecord(0, NEW_THREAD, "b"), t=1.0)
+        s.run()
+        starts = [e[2] for e in disp.executed]
+        assert starts == [0.0, 10.0]  # b waits for a
+
+    def test_different_lanes_run_concurrently(self):
+        disp = null_dispatcher(cycles=10.0)
+        s = Simulator(bench_machine(nodes=1), dispatcher=disp)
+        s.inject(MessageRecord(0, NEW_THREAD, "a"), t=0.0)
+        s.inject(MessageRecord(1, NEW_THREAD, "b"), t=1.0)
+        s.run()
+        starts = sorted(e[2] for e in disp.executed)
+        assert starts == [0.0, 1.0]
+
+    def test_deterministic_tie_break(self):
+        disp = null_dispatcher()
+        s = Simulator(bench_machine(nodes=1), dispatcher=disp)
+        s.inject(MessageRecord(0, NEW_THREAD, "first"), t=5.0)
+        s.inject(MessageRecord(0, NEW_THREAD, "second"), t=5.0)
+        s.run()
+        assert [e[1] for e in disp.executed] == ["first", "second"]
+
+    def test_max_events_guard(self):
+        def renew(sim, lane, record, start):
+            sim.send(record, start + 1.0, src_node=0)
+            return 1.0
+
+        s = Simulator(bench_machine(nodes=1), dispatcher=renew)
+        s.inject(MessageRecord(0, NEW_THREAD, "loop"))
+        with pytest.raises(SimulationError):
+            s.run(max_events=100)
+
+    def test_final_tick_covers_execution(self, sim):
+        sim.inject(MessageRecord(0, NEW_THREAD, "x"))
+        stats = sim.run()
+        assert stats.final_tick == 5.0
+        assert sim.elapsed_seconds == pytest.approx(5.0 / 2e9)
+
+
+class TestTransport:
+    def test_send_returns_delivery_time(self, sim):
+        rec = MessageRecord(0, NEW_THREAD, "x", src_network_id=None)
+        t = sim.send(rec, 0.0, src_node=None)
+        assert t == 0.0  # host injection
+
+    def test_remote_send_adds_latency(self, sim):
+        cfg = sim.config
+        dst = cfg.first_lane_of_node(1)
+        t = sim.send(MessageRecord(dst, NEW_THREAD, "x"), 0.0, src_node=0)
+        assert t >= cfg.remote_msg_latency_cycles
+        assert sim.stats.messages_remote == 1
+
+    def test_local_send_counted(self, sim):
+        sim.send(MessageRecord(0, NEW_THREAD, "x"), 0.0, src_node=0)
+        assert sim.stats.messages_local == 1
+
+    def test_host_messages_collected(self, sim):
+        sim.inject(MessageRecord(HOST_NWID, 0, "done", operands=(42,)))
+        sim.run()
+        msgs = sim.host_messages("done")
+        assert len(msgs) == 1 and msgs[0].operands == (42,)
+        assert sim.host_messages("other") == []
+
+
+class TestDram:
+    def test_read_requires_response(self, sim):
+        with pytest.raises(SimulationError):
+            sim.dram_transaction(
+                None, 0.0, src_node=0, memory_node=0, nbytes=64, is_read=True
+            )
+
+    def test_remote_access_slower_than_local(self, sim):
+        resp = MessageRecord(0, 0, "r")
+        t_local = sim.dram_transaction(resp, 0.0, 0, 0, 64, is_read=True)
+        sim2 = Simulator(bench_machine(nodes=2), dispatcher=null_dispatcher())
+        t_remote = sim2.dram_transaction(resp, 0.0, 0, 1, 64, is_read=True)
+        assert t_remote > t_local
+        # remote pays two network hops (~7:1 total latency per §3.2)
+        assert t_remote >= t_local + 2 * sim.config.remote_msg_latency_cycles * 0.9
+
+    def test_write_without_ack_extends_final_tick(self, sim):
+        t = sim.dram_transaction(None, 0.0, 0, 0, 64, is_read=False)
+        assert sim.stats.final_tick == t
+        assert sim.stats.dram_writes == 1
+
+    def test_stats_track_bytes(self, sim):
+        sim.dram_transaction(MessageRecord(0, 0, "r"), 0.0, 0, 0, 64, True)
+        sim.dram_transaction(None, 0.0, 0, 0, 128, False)
+        assert sim.stats.dram_bytes_read == 64
+        assert sim.stats.dram_bytes_written == 128
+
+
+class TestLazyLanes:
+    def test_lanes_created_on_demand(self, sim):
+        assert sim.instantiated_lanes == 0
+        sim.lane(0)
+        sim.lane(0)
+        sim.lane(sim.config.total_lanes - 1)
+        assert sim.instantiated_lanes == 2
+
+    def test_invalid_lane_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.lane(sim.config.total_lanes)
+
+
+class TestMessageTrace:
+    def test_trace_off_by_default(self, sim):
+        sim.send(MessageRecord(0, NEW_THREAD, "x"), 0.0, src_node=0)
+        assert sim.trace == []
+
+    def test_trace_records_sends(self):
+        s = Simulator(
+            bench_machine(nodes=2), dispatcher=null_dispatcher(), trace=True
+        )
+        dst = s.config.first_lane_of_node(1)
+        s.send(
+            MessageRecord(dst, NEW_THREAD, "hop", src_network_id=0),
+            5.0,
+            src_node=0,
+        )
+        assert len(s.trace) == 1
+        t_issue, t_deliver, src, dst_got, label = s.trace[0]
+        assert (t_issue, src, dst_got, label) == (5.0, 0, dst, "hop")
+        assert t_deliver >= 5.0 + s.config.remote_msg_latency_cycles
+
+    def test_trace_through_runtime(self):
+        from repro.udweave import UDThread, UpDownRuntime, event
+
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        rt.sim.trace_enabled = True
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                ctx.spawn(1, "T::sink")
+                ctx.yield_terminate()
+
+            @event
+            def sink(self, ctx):
+                ctx.yield_terminate()
+
+        rt.start(0, "T::go")
+        rt.run()
+        labels = [t[4] for t in rt.sim.trace]
+        assert "T::sink" in labels

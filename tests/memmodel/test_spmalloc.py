@@ -1,0 +1,66 @@
+"""spMalloc: per-lane scratchpad arenas."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memmodel import DEFAULT_CAPACITY_WORDS, ScratchpadError, SpAllocator
+
+
+class TestSpMalloc:
+    def test_offsets_are_disjoint(self):
+        sp = SpAllocator(100)
+        a = sp.sp_malloc(0, 10)
+        b = sp.sp_malloc(0, 20)
+        assert a == 0 and b == 10
+
+    def test_lanes_are_independent(self):
+        sp = SpAllocator(100)
+        sp.sp_malloc(0, 50)
+        assert sp.sp_malloc(1, 50) == 0
+        assert sp.used(0) == 50 and sp.used(1) == 50
+
+    def test_exhaustion_raises(self):
+        sp = SpAllocator(16)
+        sp.sp_malloc(0, 16)
+        with pytest.raises(ScratchpadError, match="exhausted"):
+            sp.sp_malloc(0, 1)
+
+    def test_reset_frees_arena(self):
+        sp = SpAllocator(16)
+        sp.sp_malloc(0, 16)
+        sp.reset(0)
+        assert sp.sp_malloc(0, 16) == 0
+
+    def test_reset_unknown_lane_is_noop(self):
+        SpAllocator(16).reset(99)
+
+    def test_invalid_sizes_rejected(self):
+        sp = SpAllocator(16)
+        with pytest.raises(ScratchpadError):
+            sp.sp_malloc(0, 0)
+        with pytest.raises(ScratchpadError):
+            sp.sp_malloc(0, -4)
+        with pytest.raises(ScratchpadError):
+            SpAllocator(0)
+
+    def test_default_capacity_is_64kb(self):
+        assert DEFAULT_CAPACITY_WORDS * 8 == 64 * 1024
+
+    def test_high_watermark(self):
+        sp = SpAllocator(100)
+        assert sp.high_watermark() == 0
+        sp.sp_malloc(0, 10)
+        sp.sp_malloc(1, 30)
+        assert sp.high_watermark() == 30
+
+
+@given(st.lists(st.integers(1, 20), max_size=30))
+def test_bump_allocation_never_overlaps(sizes):
+    sp = SpAllocator(10_000)
+    spans = []
+    for s in sizes:
+        off = sp.sp_malloc(0, s)
+        spans.append((off, off + s))
+    spans.sort()
+    for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+        assert a1 <= b0

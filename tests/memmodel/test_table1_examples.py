@@ -1,0 +1,72 @@
+"""Table 1: the paper's four DRAMmalloc parameter examples.
+
+Each row of Table 1 is instantiated as a real descriptor (scaled where the
+paper's sizes exceed what a test should allocate) and its layout checked
+against the row's English description.
+"""
+
+from repro.memmodel import SwizzleDescriptor
+
+MACHINE_NODES = 16384  # the full UpDown machine
+
+
+class TestTable1Row1:
+    """(., 0, 16384, 4096): cyclic over the entire machine, 4 KB blocks."""
+
+    def test_blocks_cycle_over_whole_machine(self):
+        d = SwizzleDescriptor(
+            0, 16384 * 4096, 0, 16384, 4096, MACHINE_NODES
+        )
+        assert d.node_of(0) == 0
+        assert d.node_of(4096) == 1
+        assert d.node_of(16383 * 4096) == 16383
+        # and the cycle restarts
+        d2 = SwizzleDescriptor(
+            0, 2 * 16384 * 4096, 0, 16384, 4096, MACHINE_NODES
+        )
+        assert d2.node_of(16384 * 4096) == 0
+
+
+class TestTable1Row2:
+    """(., 0, 1024, 4096): cyclic over the first 1K nodes."""
+
+    def test_only_first_1k_nodes_used(self):
+        d = SwizzleDescriptor(0, 4096 * 4096, 0, 1024, 4096, MACHINE_NODES)
+        nodes = {d.node_of(i * 4096) for i in range(4096)}
+        assert nodes == set(range(1024))
+
+
+class TestTable1Row3:
+    """(4TB, 0, 1024, 4GB): contiguous 4GB per node on the first 1K nodes.
+
+    Scaled 2^20x (4MB total, 4KB blocks) to keep the test light; the
+    block-size-equals-share structure is what the row demonstrates.
+    """
+
+    def test_each_node_gets_one_contiguous_block(self):
+        size, bs, nr = 1024 * 4096, 4096, 1024
+        d = SwizzleDescriptor(0, size, 0, nr, bs, MACHINE_NODES)
+        for node in (0, 1, 511, 1023):
+            lo = node * bs
+            n, local = d.translate(lo)
+            assert n == node
+            assert local == 0
+            n2, local2 = d.translate(lo + bs - 1)
+            assert n2 == node and local2 == bs - 1
+
+
+class TestTable1Row4:
+    """(4TB, 4K, 8K, 1MB): cyclic across the middle 8K nodes; each node
+    gets 512 blocks.  Scaled: 8K blocks of 4KB over nodes [4096, 12288)."""
+
+    def test_middle_nodes_each_get_equal_share(self):
+        nr, bs = 8192, 4096
+        nblocks_per_node = 4
+        d = SwizzleDescriptor(
+            0, nr * nblocks_per_node * bs, 4096, nr, bs, MACHINE_NODES
+        )
+        assert d.node_of(0) == 4096
+        assert d.node_of((nr - 1) * bs) == 4096 + nr - 1
+        assert d.node_of(nr * bs) == 4096  # wraps to the region start
+        assert d.bytes_on_node(4096) == nblocks_per_node * bs
+        assert d.bytes_on_node(0) == 0  # outside the middle range

@@ -1,0 +1,129 @@
+"""Swizzle descriptors: block-cyclic translation correctness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memmodel import MIN_BLOCK_SIZE, SwizzleDescriptor, TranslationError
+
+
+def desc(size=1 << 20, first=0, nr=4, bs=4096, machine=16, base=0):
+    return SwizzleDescriptor(
+        base_va=base,
+        size=size,
+        first_node=first,
+        nr_nodes=nr,
+        block_size=bs,
+        machine_nodes=machine,
+    )
+
+
+class TestValidation:
+    def test_non_power_of_two_nodes_rejected(self):
+        with pytest.raises(TranslationError, match="power of 2"):
+            desc(nr=3)
+
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(TranslationError, match="power of 2"):
+            desc(bs=5000)
+
+    def test_block_below_4kb_rejected(self):
+        """Paper §2.4: BS is a power of 2 and >= 4KB."""
+        with pytest.raises(TranslationError, match="4096"):
+            desc(bs=2048)
+        assert MIN_BLOCK_SIZE == 4096
+
+    def test_more_nodes_than_machine_rejected(self):
+        with pytest.raises(TranslationError):
+            desc(nr=32, machine=16)
+
+    def test_first_node_out_of_range_rejected(self):
+        with pytest.raises(TranslationError):
+            desc(first=16, machine=16)
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(TranslationError):
+            desc(size=0)
+
+
+class TestTranslation:
+    def test_block_cyclic_node_pattern(self):
+        d = desc(size=8 * 4096, nr=4, bs=4096)
+        nodes = [d.node_of(i * 4096) for i in range(8)]
+        assert nodes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_first_node_offsets_pattern(self):
+        d = desc(size=4 * 4096, first=2, nr=4, bs=4096)
+        assert [d.node_of(i * 4096) for i in range(4)] == [2, 3, 4, 5]
+
+    def test_wraparound_modulo_machine(self):
+        """Table 1's "middle nodes" style: first_node + k wraps."""
+        d = desc(size=4 * 4096, first=14, nr=4, bs=4096, machine=16)
+        assert [d.node_of(i * 4096) for i in range(4)] == [14, 15, 0, 1]
+
+    def test_offsets_within_node_are_contiguous_per_block(self):
+        d = desc(size=8 * 4096, nr=4, bs=4096)
+        # second block on node 0 (VA block 4) starts at local offset 4096
+        node, local = d.translate(4 * 4096)
+        assert (node, local) == (0, 4096)
+        node, local = d.translate(4 * 4096 + 123)
+        assert (node, local) == (0, 4096 + 123)
+
+    def test_out_of_region_rejected(self):
+        d = desc(size=4096)
+        with pytest.raises(TranslationError):
+            d.translate(4096)
+        with pytest.raises(TranslationError):
+            d.translate(-1)
+
+    def test_bytes_on_node_balanced(self):
+        d = desc(size=16 * 4096, nr=4, bs=4096)
+        assert [d.bytes_on_node(n) for n in range(4)] == [4 * 4096] * 4
+        assert d.bytes_on_node(5) == 0
+
+    def test_nodes_used_capped_by_blocks(self):
+        d = desc(size=2 * 4096, nr=8, bs=4096, machine=16)
+        assert d.nodes_used() == 2
+
+
+@settings(max_examples=200)
+@given(
+    nr_pow=st.integers(0, 4),
+    bs_pow=st.integers(12, 16),
+    nblocks=st.integers(1, 32),
+    first=st.integers(0, 15),
+    offset_frac=st.floats(0, 1, exclude_max=True),
+)
+def test_translation_properties(nr_pow, bs_pow, nblocks, first, offset_frac):
+    """For any valid descriptor: (1) every VA maps into [first, first+nr)
+    mod machine; (2) local offsets are within the node's share; (3) two
+    VAs in the same block map to the same node with offsets differing by
+    the VA delta."""
+    nr, bs = 1 << nr_pow, 1 << bs_pow
+    machine = 16
+    d = SwizzleDescriptor(0, nblocks * bs, first, nr, bs, machine)
+    va = int(offset_frac * d.size)
+    node, local = d.translate(va)
+    allowed = {(first + k) % machine for k in range(nr)}
+    assert node in allowed
+    assert 0 <= local < d.bytes_on_node(node) or d.bytes_on_node(node) == 0
+    # same-block coherence
+    block_start = (va // bs) * bs
+    n2, l2 = d.translate(block_start)
+    assert n2 == node
+    assert local - l2 == va - block_start
+
+
+@settings(max_examples=100)
+@given(
+    nr_pow=st.integers(0, 3),
+    nblocks=st.integers(1, 16),
+)
+def test_translation_is_injective(nr_pow, nblocks):
+    """Distinct VAs never collide in (node, offset) space."""
+    nr, bs = 1 << nr_pow, 4096
+    d = SwizzleDescriptor(0, nblocks * bs, 0, nr, bs, 8)
+    seen = {}
+    for va in range(0, d.size, 512):
+        key = d.translate(va)
+        assert key not in seen, f"collision between {va} and {seen[key]}"
+        seen[key] = va

@@ -1,0 +1,36 @@
+"""The example scripts run and self-validate (they assert internally)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+#: the fast examples run in the suite; the slower sweeps are exercised by
+#: the benchmarks that subsume them
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_binding.py",
+    "streaming_partial_match.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-800:]
+    assert result.stdout.strip(), "examples should narrate their output"
+
+
+def test_all_examples_exist_and_are_listed():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    readme = (EXAMPLES / "README.md").read_text()
+    for script in scripts:
+        assert script in readme, f"{script} missing from examples/README.md"

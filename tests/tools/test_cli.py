@@ -1,0 +1,135 @@
+"""The artifact-style CLI pipeline, end to end.
+
+Mirrors the artifact appendix's T1 (data preparation) -> T2 (simulation)
+flow: generate an RMAT edge list, preprocess it with split_and_shuffle /
+tsv, and run each application binary against the binaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tools import bfs as bfs_cli
+from repro.tools import pagerank as pr_cli
+from repro.tools import rmat as rmat_cli
+from repro.tools import split_and_shuffle as sas_cli
+from repro.tools import tc as tc_cli
+from repro.tools import tsv as tsv_cli
+from repro.tools.common import load_prefix_as_graph, read_edge_list
+
+
+@pytest.fixture(scope="module")
+def edge_list(tmp_path_factory):
+    d = tmp_path_factory.mktemp("cli")
+    out = d / "rmat-s7.txt"
+    rmat_cli.main(["-s", "7", "--seed", "48", "-o", str(out)])
+    return out
+
+
+class TestGenerators:
+    def test_rmat_writes_edge_factor_times_n(self, edge_list):
+        edges = read_edge_list(edge_list)
+        assert len(edges) == 16 * 128
+
+    def test_read_edge_list_skips_comments(self, tmp_path):
+        f = tmp_path / "g.txt"
+        f.write_text("# header\n% other\n0 1\n1\t2\n")
+        edges = read_edge_list(f)
+        assert edges.tolist() == [[0, 1], [1, 2]]
+
+    def test_skip_lines_option(self, tmp_path):
+        f = tmp_path / "g.txt"
+        f.write_text("garbage that is not an edge\n0 1\n")
+        edges = read_edge_list(f, skip_lines=1)
+        assert edges.tolist() == [[0, 1]]
+
+    def test_empty_file_rejected(self, tmp_path):
+        f = tmp_path / "g.txt"
+        f.write_text("# nothing\n")
+        with pytest.raises(ValueError):
+            read_edge_list(f)
+
+
+class TestPreprocessing:
+    def test_split_and_shuffle_outputs(self, edge_list):
+        prefix = sas_cli.main(
+            ["-f", str(edge_list), "-m", "16", "-s", "--seed", "1"]
+        )
+        assert prefix.with_name(prefix.name + "_gv.bin").exists()
+        assert prefix.with_name(prefix.name + "_nl.bin").exists()
+        stats = edge_list.with_name(f"{edge_list.stem}_m16_stats.txt")
+        assert stats.exists()
+        assert "max_degree" in stats.read_text()
+
+    def test_roundtrip_reconstructs_graph(self, edge_list):
+        from repro.graph.csr import CSRGraph
+
+        prefix = sas_cli.main(
+            ["-f", str(edge_list), "-m", "16", "--seed", "1"]
+        )
+        rebuilt, meta = load_prefix_as_graph(prefix)
+        direct = CSRGraph.from_edges(
+            read_edge_list(edge_list), symmetrize=True
+        )
+        assert rebuilt.n == direct.n
+        assert rebuilt.m == direct.m
+        assert sorted(rebuilt.edges()) == sorted(direct.edges())
+
+    def test_tsv_outputs(self, edge_list, tmp_path):
+        prefix = tsv_cli.main(
+            [str(edge_list), str(tmp_path / "tc-graph")]
+        )
+        graph, meta = load_prefix_as_graph(prefix)
+        assert meta["max_degree"] is None  # unsplit
+        assert graph.is_symmetric()
+
+
+class TestRunners:
+    def test_pagerank_cli_runs_and_verifies(self, edge_list):
+        prefix = sas_cli.main(
+            ["-f", str(edge_list), "-m", "32", "--seed", "1"]
+        )
+        seconds = pr_cli.main([str(prefix), "2", "--verify"])
+        assert seconds > 0
+
+    def test_bfs_cli_runs_and_verifies(self, edge_list):
+        prefix = sas_cli.main(
+            ["-f", str(edge_list), "-m", "64", "--seed", "1"]
+        )
+        seconds = bfs_cli.main([str(prefix), "2", "--verify"])
+        assert seconds > 0
+
+    def test_tc_cli_runs_and_verifies(self, edge_list, tmp_path):
+        prefix = tsv_cli.main([str(edge_list), str(tmp_path / "tc")])
+        count = tc_cli.main([str(prefix), "2", "--verify"])
+        assert count > 0
+
+    def test_tc_pbmw_same_count(self, edge_list, tmp_path):
+        prefix = tsv_cli.main([str(edge_list), str(tmp_path / "tc2")])
+        a = tc_cli.main([str(prefix), "2"])
+        b = tc_cli.main([str(prefix), "2", "--pbmw"])
+        assert a == b
+
+
+class TestRunnerOptions:
+    def test_pagerank_mem_nodes_flag(self, edge_list):
+        prefix = sas_cli.main(
+            ["-f", str(edge_list), "-m", "32", "--seed", "2"]
+        )
+        narrow = pr_cli.main([str(prefix), "4", "--mem-nodes", "1"])
+        wide = pr_cli.main([str(prefix), "4", "--mem-nodes", "4"])
+        assert wide < narrow  # the Figure 12 effect through the CLI
+
+    def test_bfs_nonzero_root(self, edge_list):
+        prefix = sas_cli.main(
+            ["-f", str(edge_list), "-m", "64", "--seed", "2"]
+        )
+        seconds = bfs_cli.main([str(prefix), "2", "--root", "5", "--verify"])
+        assert seconds > 0
+
+    def test_pagerank_multiple_iterations(self, edge_list):
+        prefix = sas_cli.main(
+            ["-f", str(edge_list), "-m", "32", "--seed", "3"]
+        )
+        one = pr_cli.main([str(prefix), "2", "--iterations", "1"])
+        two = pr_cli.main([str(prefix), "2", "--iterations", "2"])
+        assert two > one

@@ -1,0 +1,378 @@
+"""LaneContext: intrinsics, DRAM split-phase access, scratchpad, yields."""
+
+import pytest
+
+from repro.machine import bench_machine
+from repro.udweave import (
+    MAX_DRAM_READ_WORDS,
+    UDThread,
+    UDWeaveError,
+    UpDownRuntime,
+    event,
+)
+
+
+def runtime(nodes=2):
+    return UpDownRuntime(bench_machine(nodes=nodes))
+
+
+class TestDramAccess:
+    def test_read_roundtrip_with_tag(self):
+        rt = runtime()
+        reg = rt.dram_malloc(8 * 64, name="arr")
+        reg[:] = range(64)
+        got = []
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                ctx.send_dram_read(reg.addr(8), 4, "back", tag="req1")
+                ctx.yield_()
+
+            @event
+            def back(self, ctx, tag, *vals):
+                got.append((tag, vals))
+                ctx.yield_terminate()
+
+        rt.start(0, "T::go")
+        rt.run()
+        assert got == [("req1", (8, 9, 10, 11))]
+
+    def test_read_without_tag_has_plain_operands(self):
+        rt = runtime()
+        reg = rt.dram_malloc(8 * 8, name="arr")
+        reg[:] = range(8)
+        got = []
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                ctx.send_dram_read(reg.addr(0), 2, "back")
+                ctx.yield_()
+
+            @event
+            def back(self, ctx, a, b):
+                got.append((a, b))
+                ctx.yield_terminate()
+
+        rt.start(0, "T::go")
+        rt.run()
+        assert got == [(0, 1)]
+
+    def test_read_size_limits(self):
+        rt = runtime()
+        reg = rt.dram_malloc(8 * 64, name="arr")
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                ctx.send_dram_read(reg.addr(0), MAX_DRAM_READ_WORDS + 1, "go")
+
+        rt.start(0, "T::go")
+        with pytest.raises(UDWeaveError, match="1..8"):
+            rt.run()
+
+    def test_write_then_read_sees_value(self):
+        rt = runtime()
+        reg = rt.dram_malloc(8 * 8, name="arr")
+        got = []
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                ctx.send_dram_write(reg.addr(3), [77], ack_label="wrote")
+                ctx.yield_()
+
+            @event
+            def wrote(self, ctx):
+                ctx.send_dram_read(reg.addr(3), 1, "back")
+                ctx.yield_()
+
+            @event
+            def back(self, ctx, v):
+                got.append(v)
+                ctx.yield_terminate()
+
+        rt.start(0, "T::go")
+        rt.run()
+        assert got == [77]
+
+    def test_empty_write_rejected(self):
+        rt = runtime()
+        reg = rt.dram_malloc(64, name="arr")
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                ctx.send_dram_write(reg.addr(0), [])
+
+        rt.start(0, "T::go")
+        with pytest.raises(UDWeaveError):
+            rt.run()
+
+    def test_dram_response_is_slower_when_remote(self):
+        """Memory on node 1 read from node 0 pays the network round trip."""
+        times = {}
+        for first_node in (0, 1):
+            rt = runtime(nodes=2)
+            reg = rt.gmem.dram_malloc(
+                4096, first_node, 1, 4096, name="arr"
+            )
+
+            @rt.register
+            class T(UDThread):
+                @event
+                def go(self, ctx):
+                    ctx.send_dram_read(reg.addr(0), 1, "back")
+                    ctx.yield_()
+
+                @event
+                def back(self, ctx, v):
+                    ctx.yield_terminate()
+
+            rt.start(0, "T::go")
+            stats = rt.run()
+            times[first_node] = stats.final_tick
+        assert times[1] > times[0] + 1000  # two remote hops
+
+
+class TestScratchpad:
+    def test_sp_rw(self):
+        rt = runtime()
+        got = []
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                ctx.sp_write("k", 5)
+                got.append(ctx.sp_read("k"))
+                got.append(ctx.sp_read("missing", "default"))
+                ctx.yield_terminate()
+
+        rt.start(0, "T::go")
+        rt.run()
+        assert got == [5, "default"]
+
+    def test_scratchpad_is_lane_private(self):
+        rt = runtime()
+        got = []
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                ctx.sp_write("k", "lane0")
+                ctx.spawn(1, "T::peek")
+                ctx.yield_terminate()
+
+            @event
+            def peek(self, ctx):
+                got.append(ctx.sp_read("k"))
+                ctx.yield_terminate()
+
+        rt.start(0, "T::go")
+        rt.run()
+        assert got == [None]
+
+
+class TestYields:
+    def test_double_yield_rejected(self):
+        rt = runtime()
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                ctx.yield_()
+                ctx.yield_()
+
+        rt.start(0, "T::go")
+        with pytest.raises(UDWeaveError, match="already ended"):
+            rt.run()
+
+    def test_yield_then_terminate_rejected(self):
+        rt = runtime()
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                ctx.yield_()
+                ctx.yield_terminate()
+
+        rt.start(0, "T::go")
+        with pytest.raises(UDWeaveError):
+            rt.run()
+
+    def test_negative_delay_rejected(self):
+        rt = runtime()
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                ctx.send_event(ctx.runtime.host_evw("x"), delay=-5)
+
+        rt.start(0, "T::go")
+        with pytest.raises(UDWeaveError):
+            rt.run()
+
+    def test_delayed_send_arrives_later(self):
+        rt = runtime()
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                ctx.send_event(ctx.runtime.host_evw("late"), delay=5000)
+                ctx.yield_terminate()
+
+        rt.start(0, "T::go")
+        rt.run()
+        t, _ = rt.sim.host_inbox[0]
+        assert t >= 5000
+
+
+class TestContinuations:
+    def test_send_reply_to_ignored_continuation_is_noop(self):
+        rt = runtime()
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):  # started with no continuation
+                ctx.send_reply(1, 2, 3)
+                ctx.send_event(ctx.runtime.host_evw("ok"))
+                ctx.yield_terminate()
+
+        rt.start(0, "T::go")
+        stats = rt.run()
+        assert rt.host_messages("ok")
+        # only the host message was sent
+        assert stats.messages_sent == 1
+
+    def test_listing2_call_return_composition(self):
+        """The paper's Listing 2: e1 -> e2 (new thread, next lane) -> e3."""
+        rt = runtime()
+        trace = []
+
+        @rt.register
+        class TCallReturn(UDThread):
+            @event
+            def e1(self, ctx):
+                trace.append("e1")
+                evw = ctx.evw_new(ctx.network_id + 1, "TCallReturn::e2")
+                ctw = ctx.self_evw("e3")
+                ctx.send_event(evw, 0, 1, cont=ctw)
+                ctx.yield_()
+
+            @event
+            def e2(self, ctx, d0, d1):
+                trace.append(("e2", d0, d1))
+                ctx.send_reply()
+                ctx.yield_terminate()
+
+            @event
+            def e3(self, ctx):
+                trace.append("e3")
+                ctx.send_event(ctx.runtime.host_evw("done"))
+                ctx.yield_terminate()
+
+        rt.start(0, "TCallReturn::e1")
+        rt.run()
+        assert trace == ["e1", ("e2", 0, 1), "e3"]
+
+    def test_cevnt_addresses_current_thread(self):
+        rt = runtime()
+        seen = []
+
+        @rt.register
+        class T(UDThread):
+            def __init__(self):
+                self.marker = None
+
+            @event
+            def go(self, ctx):
+                self.marker = "set"
+                from repro.udweave import eventword
+
+                evw = eventword.with_label(
+                    ctx.cevnt, ctx.runtime.label_id("T::again")
+                )
+                ctx.send_event(evw)
+                ctx.yield_()
+
+            @event
+            def again(self, ctx):
+                seen.append(self.marker)
+                ctx.yield_terminate()
+
+        rt.start(0, "T::go")
+        rt.run()
+        assert seen == ["set"]
+
+
+class TestPooledScratchpad:
+    """§2.1.1: scratchpad pooling within an accelerator."""
+
+    def test_siblings_share_through_the_pool(self):
+        rt = runtime(nodes=1)
+        got = []
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def writer(self, ctx):
+                # lane 0 writes into lane 1's scratchpad
+                ctx.sp_write_pooled(1, "shared", 42)
+                ctx.spawn(1, "T::reader")
+                ctx.yield_terminate()
+
+            @event
+            def reader(self, ctx):
+                got.append(ctx.sp_read("shared"))
+                got.append(ctx.sp_read_pooled(0, "missing", "dflt"))
+                ctx.yield_terminate()
+
+        rt.start(0, "T::writer")
+        rt.run()
+        assert got == [42, "dflt"]
+
+    def test_pooled_access_costs_more_than_private(self):
+        rt = runtime(nodes=1)
+        deltas = {}
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                before = ctx.cycles
+                ctx.sp_write("k", 1)
+                deltas["private"] = ctx.cycles - before
+                before = ctx.cycles
+                ctx.sp_write_pooled(1, "k", 1)
+                deltas["pooled"] = ctx.cycles - before
+                ctx.yield_terminate()
+
+        rt.start(0, "T::go")
+        rt.run()
+        assert deltas["pooled"] > deltas["private"]
+
+    def test_pool_bounded_to_accelerator(self):
+        rt = runtime(nodes=1)
+
+        @rt.register
+        class T(UDThread):
+            @event
+            def go(self, ctx):
+                ctx.sp_read_pooled(ctx.config.lanes_per_accel, "k")
+
+        rt.start(0, "T::go")
+        with pytest.raises(UDWeaveError, match="outside"):
+            rt.run()

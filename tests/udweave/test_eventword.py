@@ -1,0 +1,91 @@
+"""Event words: 64-bit encode/decode, evw_update_event semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.udweave import eventword as ew
+
+
+class TestEncodeDecode:
+    def test_roundtrip_concrete_thread(self):
+        evw = ew.encode(1234, 56, thread=789)
+        assert ew.decode(evw) == (1234, 56, 789, False)
+
+    def test_roundtrip_new_thread(self):
+        evw = ew.encode(5, 3, thread=None)
+        nwid, label, thread, host = ew.decode(evw)
+        assert (nwid, label, thread, host) == (5, 3, None, False)
+
+    def test_host_flag(self):
+        evw = ew.encode(0, 2, thread=0, host=True)
+        assert ew.decode(evw)[3] is True
+
+    def test_fits_in_64_bits(self):
+        evw = ew.encode(ew.MAX_NETWORK_ID, ew.MAX_LABEL_ID, ew.MAX_THREAD_ID)
+        assert 0 <= evw < (1 << 64)
+
+    def test_paper_machine_network_ids_fit(self):
+        # 16384 nodes x 2048 lanes = 33,554,432 IDs (paper §3.1)
+        assert ew.MAX_NETWORK_ID >= 16384 * 2048 - 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"network_id": -1, "label_id": 0},
+            {"network_id": ew.MAX_NETWORK_ID + 1, "label_id": 0},
+            {"network_id": 0, "label_id": ew.MAX_LABEL_ID + 1},
+            {"network_id": 0, "label_id": 0, "thread": ew.MAX_THREAD_ID + 1},
+        ],
+    )
+    def test_out_of_range_rejected(self, kwargs):
+        with pytest.raises(ew.EventWordError):
+            ew.encode(**kwargs)
+
+    def test_decode_rejects_non_64bit(self):
+        with pytest.raises(ew.EventWordError):
+            ew.decode(-1)
+        with pytest.raises(ew.EventWordError):
+            ew.decode(1 << 64)
+
+
+class TestWithLabel:
+    def test_replaces_only_label(self):
+        """Paper §2.1.2: evw_update_event keeps thread context and lane."""
+        evw = ew.encode(42, 7, thread=9)
+        updated = ew.with_label(evw, 13)
+        assert ew.decode(updated) == (42, 13, 9, False)
+
+    def test_preserves_new_thread_flag(self):
+        evw = ew.encode(42, 7, thread=None)
+        updated = ew.with_label(evw, 13)
+        assert ew.decode(updated)[2] is None
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(ew.EventWordError):
+            ew.with_label(ew.encode(0, 0, 0), ew.MAX_LABEL_ID + 1)
+
+
+@given(
+    nwid=st.integers(0, ew.MAX_NETWORK_ID),
+    label=st.integers(0, ew.MAX_LABEL_ID),
+    thread=st.one_of(st.none(), st.integers(0, ew.MAX_THREAD_ID)),
+    host=st.booleans(),
+)
+def test_roundtrip_property(nwid, label, thread, host):
+    evw = ew.encode(nwid, label, thread, host)
+    assert ew.decode(evw) == (nwid, label, thread, host)
+    assert ew.network_id_of(evw) == nwid
+    assert ew.label_id_of(evw) == label
+
+
+@given(
+    nwid=st.integers(0, ew.MAX_NETWORK_ID),
+    label=st.integers(0, ew.MAX_LABEL_ID),
+    new_label=st.integers(0, ew.MAX_LABEL_ID),
+    thread=st.one_of(st.none(), st.integers(0, ew.MAX_THREAD_ID)),
+)
+def test_with_label_property(nwid, label, new_label, thread):
+    evw = ew.encode(nwid, label, thread)
+    updated = ew.with_label(evw, new_label)
+    n2, l2, t2, h2 = ew.decode(updated)
+    assert (n2, l2, t2, h2) == (nwid, new_label, thread, False)
