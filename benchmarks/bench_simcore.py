@@ -1,0 +1,164 @@
+"""Host-side simulator throughput benchmark (events/second).
+
+Every paper figure is gated on how fast the pure-Python DES drains its
+event heap — event handlers are 10-100 instructions (paper §2.1.1), so a
+single Figure 9 sweep point executes hundreds of thousands of tiny events
+and per-event Python overhead dominates wall-clock.  This benchmark pins
+that number down: it runs fixed seeded PageRank / BFS / Triangle-Counting
+workloads, times only the simulation drain (``app.run``), and reports
+host events/second per workload.
+
+Results land in ``BENCH_simcore.json`` at the repo root, keyed by a label
+(``--label before`` / ``--label after``), so a PR that touches the hot
+path records its own before/after trajectory and later PRs have a
+baseline to regress against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_simcore.py --label after
+    PYTHONPATH=src python benchmarks/bench_simcore.py --quick   # CI smoke
+
+Determinism: each workload also records ``final_tick`` and
+``events_executed``; those must be bit-identical across labels — a
+throughput win that changes the simulated result is a bug, not a win.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
+
+#: (name, graph scale, machine nodes, app kwargs) — all seeds fixed.
+FULL_WORKLOADS = (
+    ("pagerank", 11, 16, {"iterations": 2}),
+    ("bfs", 11, 16, {"root": 0}),
+    ("tc", 9, 16, {}),
+)
+QUICK_WORKLOADS = (
+    ("pagerank", 8, 4, {"iterations": 1}),
+    ("bfs", 8, 4, {"root": 0}),
+    ("tc", 7, 4, {}),
+)
+
+GRAPH_SEED = 7
+
+
+def _build(name: str, scale: int, nodes: int):
+    """Fresh (runtime, app, run_kwargs) — setup cost excluded from timing."""
+    from repro.apps.bfs import BFSApp
+    from repro.apps.pagerank import PageRankApp
+    from repro.apps.triangle import TriangleCountApp
+    from repro.graph.generators import rmat
+    from repro.harness.runner import BENCH_BLOCK_SIZE, bench_config
+    from repro.udweave import UpDownRuntime
+
+    graph = rmat(scale, seed=GRAPH_SEED)
+    rt = UpDownRuntime(bench_config(nodes))
+    if name == "pagerank":
+        app = PageRankApp(rt, graph, block_size=BENCH_BLOCK_SIZE)
+    elif name == "bfs":
+        app = BFSApp(rt, graph, block_size=BENCH_BLOCK_SIZE)
+    elif name == "tc":
+        app = TriangleCountApp(rt, graph, block_size=BENCH_BLOCK_SIZE)
+    else:  # pragma: no cover - workload table is static
+        raise ValueError(f"unknown workload {name!r}")
+    return rt, app
+
+
+def run_workload(name: str, scale: int, nodes: int, kwargs, repeats: int):
+    """Best-of-``repeats`` events/sec for one workload; returns a dict."""
+    best = None
+    fingerprint = None
+    for _ in range(repeats):
+        rt, app = _build(name, scale, nodes)
+        t0 = time.perf_counter()
+        res = app.run(**kwargs)
+        seconds = time.perf_counter() - t0
+        stats = res.stats
+        fp = (stats.final_tick, stats.events_executed, stats.messages_sent)
+        if fingerprint is None:
+            fingerprint = fp
+        elif fp != fingerprint:
+            raise RuntimeError(
+                f"{name}: non-deterministic run — {fp} != {fingerprint}"
+            )
+        eps = stats.events_executed / seconds if seconds > 0 else 0.0
+        if best is None or eps > best["events_per_second"]:
+            best = {
+                "graph_scale": scale,
+                "machine_nodes": nodes,
+                "events_executed": stats.events_executed,
+                "messages_sent": stats.messages_sent,
+                "final_tick": stats.final_tick,
+                "wall_seconds": round(seconds, 4),
+                "events_per_second": round(eps, 1),
+            }
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--label",
+        default="after",
+        help="entry name in the JSON (e.g. 'before' / 'after')",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workloads for CI smoke runs",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+
+    workloads = QUICK_WORKLOADS if args.quick else FULL_WORKLOADS
+    entry = {
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "workloads": {},
+    }
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+    for name, scale, nodes, kwargs in workloads:
+        result = run_workload(name, scale, nodes, kwargs, args.repeats)
+        entry["workloads"][name] = result
+        print(
+            f"{name:10} scale={scale} nodes={nodes}: "
+            f"{result['events_executed']:>9,} events in "
+            f"{result['wall_seconds']:7.2f}s = "
+            f"{result['events_per_second']:>11,.0f} ev/s"
+        )
+
+    existing = {}
+    if args.output.exists():
+        existing = json.loads(args.output.read_text())
+    entries = existing.setdefault("entries", {})
+    entries[args.label] = entry
+    if "before" in entries and "after" in entries:
+        speedups = {}
+        for name, after in entries["after"]["workloads"].items():
+            before = entries["before"]["workloads"].get(name)
+            if before and before["events_per_second"]:
+                speedups[name] = round(
+                    after["events_per_second"] / before["events_per_second"], 2
+                )
+        existing["speedup_after_over_before"] = speedups
+        print("speedups:", speedups)
+    args.output.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -179,7 +179,7 @@ class BFSReduce(ReduceTask):
         self.subs_left = 0
 
     def kv_reduce(self, ctx, u, parent, depth):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         if ctx.sp_read(("bfss", app.uid, u)) is not None:
             ctx.work(1)
             self.kv_reduce_return(ctx)
@@ -193,7 +193,7 @@ class BFSReduce(ReduceTask):
 
     @event
     def got_range(self, ctx, lo, hi):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         if lo == hi:
             self.kv_reduce_return(ctx)
             return
@@ -206,7 +206,7 @@ class BFSReduce(ReduceTask):
 
     @event
     def got_subs(self, ctx, *subs):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         parity = (app.round + 1) & 1
         count_key = ("bfsc", app.uid, parity)
         count = ctx.sp_read(count_key, 0)
@@ -231,7 +231,7 @@ class BFSReduce(ReduceTask):
             ctx.yield_()
 
     def kv_flush(self, ctx):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         appended = ctx.sp_read(("bfsa", app.uid), 0)
         ctx.sp_write(("bfsa", app.uid), 0)
         self.kv_flush_return(ctx, appended)

@@ -26,7 +26,7 @@ from repro.udweave import UpDownRuntime, event
 
 class CountLiveTask(MapTask):
     def kv_map(self, ctx, block):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         self._block = block
         self._lo, self._hi = app.block_range(block)
         self._count = 0
@@ -34,7 +34,7 @@ class CountLiveTask(MapTask):
         self._read(ctx)
 
     def _read(self, ctx):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         if self._next >= self._hi:
             self.kv_emit(ctx, self._block, self._count)
             self.kv_map_return(ctx)
@@ -53,21 +53,21 @@ class CountLiveTask(MapTask):
 
 class StoreCountReduce(ReduceTask):
     def kv_reduce(self, ctx, block, count):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         ctx.send_dram_write(app.counts_region.addr(block), [count])
         self.kv_reduce_return(ctx)
 
 
 class ScatterTask(MapTask):
     def kv_map(self, ctx, block):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         self._lo, self._hi = app.block_range(block)
         self._out = int(app.offsets[block])
         self._next = self._lo
         self._read(ctx)
 
     def _read(self, ctx):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         if self._next >= self._hi:
             self.kv_map_return(ctx)
             return
@@ -77,7 +77,7 @@ class ScatterTask(MapTask):
 
     @event
     def got_flags(self, ctx, *flags):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         for i, alive in enumerate(flags):
             vid = self._next + i
             ctx.work(2)

@@ -26,7 +26,7 @@ class CCMapTask(MapTask):
     """Push this vertex's label along every edge."""
 
     def kv_map(self, ctx, key, rep, degree, nl_off, orig_degree):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         self._degree, self._nl_off = degree, nl_off
         if degree == 0:
             self.kv_map_return(ctx)
@@ -36,7 +36,7 @@ class CCMapTask(MapTask):
 
     @event
     def got_label(self, ctx, label):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         self._label = label
         self._left = self._degree
         for i in range(0, self._degree, 8):
@@ -63,7 +63,7 @@ class CCReduceTask(ReduceTask):
     """Keep the minimum label seen per vertex (owner-lane min-combine)."""
 
     def kv_reduce(self, ctx, u, label):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         key = ("ccmin", app.uid, u)
         current = ctx.sp_read(key)
         ctx.work(2)
@@ -78,7 +78,7 @@ class CCReduceTask(ReduceTask):
 
     def kv_flush(self, ctx):
         """Apply the min-labels; count how many vertices changed."""
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         owned = ctx.sp_read(("cck", app.uid), None) or set()
         changed = 0
         for u in owned:

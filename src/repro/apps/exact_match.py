@@ -28,7 +28,7 @@ from repro.udweave import UpDownRuntime, event
 
 class BuildTask(MapTask):
     def kv_map(self, ctx, key, record_key, record_value):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         app.table.insert_from(
             ctx, record_key, (record_value,), cont=ctx.self_evw("ack")
         )
@@ -41,7 +41,7 @@ class BuildTask(MapTask):
 
 class ProbeTask(MapTask):
     def kv_map(self, ctx, key, probe_key):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         app.table.lookup_from(ctx, probe_key, ctx.self_evw("reply"))
         ctx.yield_()
 

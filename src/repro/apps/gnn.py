@@ -58,7 +58,7 @@ class GenFeaturesTask(MapTask):
     """doAll body: compute one vertex's features and store them."""
 
     def kv_map(self, ctx, key, rep, degree, nl_off, orig_degree):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         feats = [float(degree), float(degree * degree), float(rep), 1.0]
         ctx.work(6)
         ctx.send_dram_write(app.feat_region.addr(rep * FEATURE_DIM), feats)
@@ -69,7 +69,7 @@ class IntegrateTask(MapTask):
     """Push this vertex's feature vector along every out-edge."""
 
     def kv_map(self, ctx, key, rep, degree, nl_off, orig_degree):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         self._degree, self._nl_off = degree, nl_off
         if degree == 0:
             self.kv_map_return(ctx)
@@ -81,7 +81,7 @@ class IntegrateTask(MapTask):
 
     @event
     def got_feat(self, ctx, *feat):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         self._feat = feat
         self._left = self._degree
         for i in range(0, self._degree, 8):
@@ -108,13 +108,13 @@ class IntegrateReduce(ReduceTask):
     """Vector fetch&add through the combining cache."""
 
     def kv_reduce(self, ctx, key, *feat):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         app.cache.add(ctx, key, np.asarray(feat))
         ctx.work(FEATURE_DIM)
         self.kv_reduce_return(ctx)
 
     def kv_flush(self, ctx):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
 
         def write(c, key, vec):
             c.send_dram_write(

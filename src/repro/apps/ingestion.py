@@ -71,7 +71,7 @@ class IngestMapTask(MapTask):
         self.finishing = False
 
     def kv_map(self, ctx, block):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         bw = app.block_words
         self.file_bytes = app.file_bytes
         block_begin = block * bw * 8
@@ -91,7 +91,7 @@ class IngestMapTask(MapTask):
             ctx.yield_()
 
     def _pump_reads(self, ctx) -> None:
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         while (
             not self.finishing
             and self.inflight < READ_AHEAD
@@ -110,7 +110,7 @@ class IngestMapTask(MapTask):
         self.inflight -= 1
         if not self.finishing:
             self.buffer[word_index] = words
-            app = job_of(ctx, self._job_id).payload
+            app = self.job(ctx).payload
             # consume buffered chunks strictly in byte order
             while not self.finishing:
                 containing = None
@@ -180,7 +180,7 @@ class IngestReduceTask(ReduceTask):
     """Insert one parsed record into the Parallel Graph (with ack)."""
 
     def kv_reduce(self, ctx, key, kind, *fields):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         ack = ctx.self_evw("ack")
         if kind == REC_EDGE:
             src, dst, etype, ts = fields[:4]

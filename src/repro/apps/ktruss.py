@@ -39,7 +39,7 @@ class KTrussMapTask(MapTask):
         self.left = 0
 
     def kv_map(self, ctx, key, rep, degree, nl_off, orig_degree):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         self.x = rep
         if degree == 0:
             self.kv_map_return(ctx)
@@ -76,7 +76,7 @@ class KTrussReduceTask(ReduceTask):
         self.chunks_left = 0
 
     def kv_reduce(self, ctx, key):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         self.x, self.y = key
         gv = app.gv_region
         ctx.send_dram_read(
@@ -93,7 +93,7 @@ class KTrussReduceTask(ReduceTask):
         if len(self.meta) < 2:
             ctx.yield_()
             return
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         self.chunks_left = 0
         for which in ("x", "y"):
             deg, off = self.meta[which]
@@ -144,7 +144,7 @@ class KTrussReduceTask(ReduceTask):
             ctx.yield_()
 
     def _judge(self, ctx, support: int) -> None:
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         if support < app.k - 2:
             weak_key = ("ktw", app.uid)
             weak: List[tuple] = ctx.sp_read(weak_key, None) or []
@@ -154,7 +154,7 @@ class KTrussReduceTask(ReduceTask):
         self.kv_reduce_return(ctx)
 
     def kv_flush(self, ctx):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         weak_key = ("ktw", app.uid)
         weak = ctx.sp_read(weak_key, None) or []
         # hand the weak list to the host peel step through the payload

@@ -27,7 +27,7 @@ class HopMapTask(MapTask):
     """Fetch one frontier vertex's neighbors; emit each."""
 
     def kv_map(self, ctx, vid):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         app.pga.neighbors_from(ctx, vid, ctx.self_evw("got_adj"))
         ctx.yield_()
 
@@ -43,7 +43,7 @@ class HopReduceTask(ReduceTask):
     """Owner-lane dedup; newly reached vertices join the next frontier."""
 
     def kv_reduce(self, ctx, u):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         seen_key = ("mh_seen", app.uid, u)
         ctx.work(2)
         if ctx.sp_read(seen_key) is None:
@@ -55,7 +55,7 @@ class HopReduceTask(ReduceTask):
         self.kv_reduce_return(ctx)
 
     def kv_flush(self, ctx):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         new_key = ("mh_new", app.uid)
         new = ctx.sp_read(new_key, None) or []
         app.next_frontier.extend(new)

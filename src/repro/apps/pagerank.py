@@ -57,7 +57,7 @@ class PRMapTask(MapTask):
         self.loaded = 0
 
     def kv_map(self, ctx, key, rep, degree, nl_off, orig_degree):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         self.rep, self.degree, self.nl_off = rep, degree, nl_off
         if degree == 0:
             self.kv_map_return(ctx)
@@ -70,7 +70,7 @@ class PRMapTask(MapTask):
 
     @event
     def got_pr(self, ctx, pr_value):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         # outgoing contribution uses the *original* total degree so the
         # split yields the correct result for the original graph (§5.2.1)
         self.contrib = app.damping * pr_value / self._orig_degree
@@ -98,12 +98,12 @@ class PRReduceTask(ReduceTask):
     """Accumulate contributions via the combining cache (fetch&add)."""
 
     def kv_reduce(self, ctx, key, delta):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         app.cache.add(ctx, key, delta)
         self.kv_reduce_return(ctx)
 
     def kv_flush(self, ctx):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         drained = app.cache.flush_to_region(ctx, app.sum_region)
         self.kv_flush_return(ctx, drained)
 
@@ -113,13 +113,13 @@ class PRApplyTask(MapTask):
 
     def kv_map(self, ctx, v):
         self._v = v
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         ctx.send_dram_read(app.sum_region.addr(v), 1, "got_sum")
         ctx.yield_()
 
     @event
     def got_sum(self, ctx, acc):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         ctx.work(3)
         ctx.send_dram_write(app.pr_region.addr(self._v), [app.base_rank + acc])
         ctx.send_dram_write(app.sum_region.addr(self._v), [0.0])

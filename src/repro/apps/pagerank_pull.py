@@ -36,14 +36,14 @@ class PullContribTask(MapTask):
     """Phase 1 (do_all): contrib[v] = damping * pr[v] / out_degree(v)."""
 
     def kv_map(self, ctx, key, rep, degree, nl_off, orig_degree):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         self._rep, self._odeg = rep, orig_degree
         ctx.send_dram_read(app.pr_region.addr(rep), 1, "got_pr")
         ctx.yield_()
 
     @event
     def got_pr(self, ctx, pr_value):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         contrib = (
             app.damping * pr_value / self._odeg if self._odeg else 0.0
         )
@@ -61,7 +61,7 @@ class PullGatherTask(MapTask):
         self._reads_left = 0
 
     def kv_map(self, ctx, key, rep, degree, nl_off, orig_degree):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         self._rep = rep
         self._acc = 0.0
         if degree == 0:
@@ -78,7 +78,7 @@ class PullGatherTask(MapTask):
 
     @event
     def got_in_nbrs(self, ctx, *in_neighbors):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         self._reads_left += len(in_neighbors) - 1  # swap 1 list read for
         for u in in_neighbors:                     # n contribution reads
             ctx.send_dram_read(
@@ -98,7 +98,7 @@ class PullGatherTask(MapTask):
             ctx.yield_()
 
     def _store(self, ctx) -> None:
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         ctx.send_dram_write(
             app.pr_region.addr(self._rep), [app.base_rank + self._acc]
         )

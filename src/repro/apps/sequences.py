@@ -44,12 +44,12 @@ class SeqCountTask(MapTask):
 
 class SeqCountReduce(ReduceTask):
     def kv_reduce(self, ctx, entity, one):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         app.cache.add(ctx, entity, one)
         self.kv_reduce_return(ctx)
 
     def kv_flush(self, ctx):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         drained = app.cache.flush_to_region(ctx, app.counts_region)
         self.kv_flush_return(ctx, drained)
 
@@ -63,7 +63,7 @@ class SeqPlaceTask(MapTask):
 
 class SeqPlaceReduce(ReduceTask):
     def kv_reduce(self, ctx, entity, ts, value):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         key = ("seqb", app.uid, entity)
         items = ctx.sp_read(key)
         if items is None:
@@ -79,7 +79,7 @@ class SeqPlaceReduce(ReduceTask):
         self.kv_reduce_return(ctx)
 
     def kv_flush(self, ctx):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         owned = ctx.sp_read(("seqk", app.uid), None) or []
         written = 0
         for entity in owned:

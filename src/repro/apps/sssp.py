@@ -47,7 +47,7 @@ class SSSPMapTask(MapTask):
     """Push this vertex's tentative distance along every out-edge."""
 
     def kv_map(self, ctx, key, rep, degree, nl_off, orig_degree):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         self._degree, self._nl_off = degree, nl_off
         if degree == 0:
             self.kv_map_return(ctx)
@@ -57,7 +57,7 @@ class SSSPMapTask(MapTask):
 
     @event
     def got_dist(self, ctx, dist):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         if dist >= UNREACHED:  # unreached vertices push nothing yet
             self.kv_map_return(ctx)
             return
@@ -74,7 +74,7 @@ class SSSPMapTask(MapTask):
 
     @event
     def got_nbrs(self, ctx, i, *neighbors):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         ctx.send_dram_read(
             app.weight_region.addr(self._nl_off + i),
             len(neighbors),
@@ -99,7 +99,7 @@ class SSSPReduceTask(ReduceTask):
     """Min-combine tentative distances on the owner lane."""
 
     def kv_reduce(self, ctx, u, cand):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         key = ("sspmin", app.uid, u)
         current = ctx.sp_read(key)
         ctx.work(2)
@@ -113,7 +113,7 @@ class SSSPReduceTask(ReduceTask):
         self.kv_reduce_return(ctx)
 
     def kv_flush(self, ctx):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         owned = ctx.sp_read(("sspk", app.uid), None) or set()
         improved = 0
         for u in owned:

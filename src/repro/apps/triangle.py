@@ -47,7 +47,7 @@ class TCMapTask(MapTask):
         self.left = 0
 
     def kv_map(self, ctx, key, rep, degree, nl_off, orig_degree):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         self.x = rep
         if degree == 0:
             self.kv_map_return(ctx)
@@ -84,7 +84,7 @@ class TCReduceTask(ReduceTask):
         self.chunks_left = 0
 
     def kv_reduce(self, ctx, key):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         self.x, self.y = key
         # degree + neighbor-list offset are words 1..2 of the vertex record
         gv = app.gv_region
@@ -102,7 +102,7 @@ class TCReduceTask(ReduceTask):
         if len(self.meta) < 2:
             ctx.yield_()
             return
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         nl = app.nl_region
         self.chunks_left = 0
         for which in ("x", "y"):
@@ -131,7 +131,7 @@ class TCReduceTask(ReduceTask):
             ctx.yield_()
 
     def _count(self, ctx) -> None:
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         nx = [
             v
             for (w, i) in sorted(self.chunks)
@@ -165,7 +165,7 @@ class TCReduceTask(ReduceTask):
         self.kv_reduce_return(ctx)
 
     def kv_flush(self, ctx):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         key = ("tcc", app.uid)
         total = ctx.sp_read(key, 0)
         ctx.sp_write(key, 0)

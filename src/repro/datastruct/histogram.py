@@ -28,7 +28,7 @@ from repro.udweave import UpDownRuntime
 
 class HistMapTask(MapTask):
     def kv_map(self, ctx, key, value):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         ctx.work(3)  # subtract, scale, clamp
         self.kv_emit(ctx, app.bin_of(value), 1)
         self.kv_map_return(ctx)
@@ -36,12 +36,12 @@ class HistMapTask(MapTask):
 
 class HistReduceTask(ReduceTask):
     def kv_reduce(self, ctx, bin_id, one):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         app.cache.add(ctx, bin_id, one)
         self.kv_reduce_return(ctx)
 
     def kv_flush(self, ctx):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         drained = app.cache.flush_to_region(ctx, app.counts_region)
         self.kv_flush_return(ctx, drained)
 

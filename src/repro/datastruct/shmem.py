@@ -89,7 +89,7 @@ class _SumTask(MapTask):
     """Per-node partial sum: reads one symmetric slice, emits the partial."""
 
     def kv_map(self, ctx, node):
-        sym: SymmetricRegion = job_of(ctx, self._job_id).payload
+        sym: SymmetricRegion = self.job(ctx).payload
         self._node = node
         self._left = -(-sym.words_per_node // 8)
         self._acc = 0
@@ -157,7 +157,7 @@ class _BcastTask(MapTask):
     """Pull-style broadcast: each node copies the root's slice locally."""
 
     def kv_map(self, ctx, node):
-        sym, root = job_of(ctx, self._job_id).payload
+        sym, root = self.job(ctx).payload
         if node == root:
             self.kv_map_return(ctx)
             return
@@ -171,7 +171,7 @@ class _BcastTask(MapTask):
 
     @event
     def got_words(self, ctx, offset, *words):
-        sym, _root = job_of(ctx, self._job_id).payload
+        sym, _root = self.job(ctx).payload
         sym.put_from(ctx, self._node, offset, list(words))
         self._left -= 1
         if self._left == 0:

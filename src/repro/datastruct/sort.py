@@ -40,7 +40,7 @@ from repro.udweave import UpDownRuntime
 
 class SortCountTask(MapTask):
     def kv_map(self, ctx, key, value):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         ctx.work(3)
         self.kv_emit(ctx, app.bucket_of(value), 1)
         self.kv_map_return(ctx)
@@ -48,19 +48,19 @@ class SortCountTask(MapTask):
 
 class SortCountReduce(ReduceTask):
     def kv_reduce(self, ctx, bucket, one):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         app.cache.add(ctx, bucket, one)
         self.kv_reduce_return(ctx)
 
     def kv_flush(self, ctx):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         drained = app.cache.flush_to_region(ctx, app.counts_region)
         self.kv_flush_return(ctx, drained)
 
 
 class SortScatterTask(MapTask):
     def kv_map(self, ctx, key, value):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         ctx.work(3)
         self.kv_emit(ctx, app.bucket_of(value), value)
         self.kv_map_return(ctx)
@@ -68,7 +68,7 @@ class SortScatterTask(MapTask):
 
 class SortScatterReduce(ReduceTask):
     def kv_reduce(self, ctx, bucket, value):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         key = ("sortb", app.uid, bucket)
         items = ctx.sp_read(key)
         if items is None:
@@ -84,7 +84,7 @@ class SortScatterReduce(ReduceTask):
         self.kv_reduce_return(ctx)
 
     def kv_flush(self, ctx):
-        app = job_of(ctx, self._job_id).payload
+        app = self.job(ctx).payload
         owned = ctx.sp_read(("sortk", app.uid), None) or []
         written = 0
         for bucket in owned:

@@ -49,7 +49,17 @@ def lane_report(sim: Simulator, top: int = 8) -> str:
 
 
 def event_report(sim: Simulator, top: int = 10) -> str:
-    """Event counts by label — which part of the program dominated."""
+    """Event counts by label — which part of the program dominated.
+
+    Requires the per-label histogram tier: build the runtime/simulator
+    with ``detailed_stats=True`` (the scalar tier skips the per-event
+    label count; see DESIGN.md, "Simulator hot path & stats tiers").
+    """
+    if not sim.detailed_stats and not sim.stats.events_by_label:
+        return (
+            "event label histogram unavailable: run with "
+            "detailed_stats=True to collect events_by_label"
+        )
     rows = sorted(
         sim.stats.events_by_label.items(), key=lambda kv: -kv[1]
     )

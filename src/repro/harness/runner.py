@@ -64,10 +64,14 @@ def run_pagerank(
     max_degree: int = 64,
     mem_nodes: Optional[int] = None,
     max_events: int = DEFAULT_MAX_EVENTS,
+    detailed_stats: bool = False,
     **machine_overrides,
 ) -> RunRecord:
     """One PageRank run on a fresh scaled machine; returns its RunRecord."""
-    rt = UpDownRuntime(bench_config(nodes, **machine_overrides))
+    rt = UpDownRuntime(
+        bench_config(nodes, **machine_overrides),
+        detailed_stats=detailed_stats,
+    )
     app = PageRankApp(
         rt, graph, max_degree=max_degree, mem_nodes=mem_nodes,
         block_size=BENCH_BLOCK_SIZE,
@@ -89,10 +93,14 @@ def run_bfs(
     mem_nodes: Optional[int] = None,
     frontier_mem_nodes: Optional[int] = None,
     max_events: int = DEFAULT_MAX_EVENTS,
+    detailed_stats: bool = False,
     **machine_overrides,
 ) -> RunRecord:
     """One BFS run on a fresh scaled machine; returns its RunRecord."""
-    rt = UpDownRuntime(bench_config(nodes, **machine_overrides))
+    rt = UpDownRuntime(
+        bench_config(nodes, **machine_overrides),
+        detailed_stats=detailed_stats,
+    )
     app = BFSApp(
         rt,
         graph,
@@ -120,10 +128,14 @@ def run_triangle_count(
     pbmw: bool = False,
     mem_nodes: Optional[int] = None,
     max_events: int = DEFAULT_MAX_EVENTS,
+    detailed_stats: bool = False,
     **machine_overrides,
 ) -> RunRecord:
     """One TC run on a fresh scaled machine; returns its RunRecord."""
-    rt = UpDownRuntime(bench_config(nodes, **machine_overrides))
+    rt = UpDownRuntime(
+        bench_config(nodes, **machine_overrides),
+        detailed_stats=detailed_stats,
+    )
     app = TriangleCountApp(
         rt, graph, pbmw=pbmw, mem_nodes=mem_nodes, block_size=BENCH_BLOCK_SIZE
     )
@@ -141,10 +153,14 @@ def run_ingestion(
     nodes: int,
     block_words: int = 64,
     max_events: int = DEFAULT_MAX_EVENTS,
+    detailed_stats: bool = False,
     **machine_overrides,
 ) -> RunRecord:
     """One ingestion run on a fresh scaled machine; returns its RunRecord."""
-    rt = UpDownRuntime(bench_config(nodes, **machine_overrides))
+    rt = UpDownRuntime(
+        bench_config(nodes, **machine_overrides),
+        detailed_stats=detailed_stats,
+    )
     app = IngestionApp(rt, records, block_words=block_words)
     res = app.run(max_events=max_events)
     return RunRecord(
@@ -161,10 +177,14 @@ def run_partial_match(
     nodes: int,
     gap_cycles: float = 2000.0,
     max_events: int = DEFAULT_MAX_EVENTS,
+    detailed_stats: bool = False,
     **machine_overrides,
 ) -> RunRecord:
     """One partial-match stream on a fresh scaled machine (latency metric)."""
-    rt = UpDownRuntime(bench_config(nodes, **machine_overrides))
+    rt = UpDownRuntime(
+        bench_config(nodes, **machine_overrides),
+        detailed_stats=detailed_stats,
+    )
     app = PartialMatchApp(rt, patterns)
     res = app.run_stream(records, gap_cycles=gap_cycles, max_events=max_events)
     return RunRecord(

@@ -103,22 +103,38 @@ class KVMSRJob:
         if reduce_cls is not None:
             runtime.register(reduce_cls)
         self.job_id = _register_job(runtime, self)
+        # Entry labels resolved once at job construction: kv_emit runs
+        # once per intermediate tuple (once per edge in PageRank), and an
+        # f-string + registry lookup per emit is pure hot-path waste.
+        self._map_entry_label = f"{map_cls.__name__}::__map_entry__"
+        self.map_entry_label_id = runtime.label_id(self._map_entry_label)
+        self._reduce_entry_label = None
+        self._flush_entry_label = None
+        self.reduce_entry_label_id = None
+        if reduce_cls is not None:
+            self._reduce_entry_label = (
+                f"{reduce_cls.__name__}::__reduce_entry__"
+            )
+            self._flush_entry_label = f"{reduce_cls.__name__}::__flush_entry__"
+            self.reduce_entry_label_id = runtime.label_id(
+                self._reduce_entry_label
+            )
 
     # -- label helpers -------------------------------------------------
 
     @property
     def reduce_entry_label(self) -> str:
-        assert self.reduce_cls is not None
-        return f"{self.reduce_cls.__name__}::__reduce_entry__"
+        assert self._reduce_entry_label is not None
+        return self._reduce_entry_label
 
     @property
     def flush_entry_label(self) -> str:
-        assert self.reduce_cls is not None
-        return f"{self.reduce_cls.__name__}::__flush_entry__"
+        assert self._flush_entry_label is not None
+        return self._flush_entry_label
 
     @property
     def map_entry_label(self) -> str:
-        return f"{self.map_cls.__name__}::__map_entry__"
+        return self._map_entry_label
 
     # -- launching -------------------------------------------------------
 
@@ -156,8 +172,8 @@ def _register_job(runtime: UpDownRuntime, job: KVMSRJob) -> int:
 def job_of(ctx: LaneContext, job_id: int) -> KVMSRJob:
     """The job descriptor for ``job_id`` on this machine."""
     try:
-        return _registry(ctx.runtime)[job_id]
-    except KeyError:
+        return ctx.runtime._kvmsr_jobs[job_id]
+    except (AttributeError, KeyError):
         raise KVMSRError(f"unknown KVMSR job id {job_id}") from None
 
 
@@ -179,9 +195,10 @@ class MapTask(UDThread):
 
     def __init__(self) -> None:
         self._job_id: int = -1
+        self._job: Optional[KVMSRJob] = None
         self._done_evw: Optional[int] = None
         self._emitted: int = 0
-        self._record: Dict[int, Tuple[Any, ...]] = {}
+        self._record: List[Optional[Tuple[Any, ...]]] = []
         self._chunks_left: int = 0
         self._key: Any = None
 
@@ -191,7 +208,7 @@ class MapTask(UDThread):
     def __map_entry__(self, ctx: LaneContext, job_id: int, done_evw: int, key):
         self._job_id = job_id
         self._done_evw = done_evw
-        job = job_of(ctx, job_id)
+        job = self._job = job_of(ctx, job_id)
         inp = job.input
         if isinstance(inp, RangeInput):
             self.kv_map(ctx, key)
@@ -203,6 +220,10 @@ class MapTask(UDThread):
             base = inp.record_addr(key)
             nchunks = -(-inp.stride_words // 8)
             self._chunks_left = nchunks
+            # Chunk responses land tagged with their index; a preallocated
+            # slot list keeps reassembly O(chunks) with no dict churn or
+            # per-record sort.
+            self._record = [None] * nchunks
             for c in range(nchunks):
                 lo = c * 8
                 n = min(8, inp.stride_words - lo)
@@ -217,14 +238,21 @@ class MapTask(UDThread):
         self._chunks_left -= 1
         if self._chunks_left == 0:
             flat: List[Any] = []
-            for c in sorted(self._record):
-                flat.extend(self._record[c])
-            self._record.clear()
+            for chunk in self._record:
+                flat.extend(chunk)
+            self._record = []
             self.kv_map(ctx, self._key, *flat)
         else:
             ctx.yield_()
 
     # -- user API ---------------------------------------------------------
+
+    def job(self, ctx: LaneContext) -> KVMSRJob:
+        """This task's job descriptor (cached across the task's events)."""
+        j = self._job
+        if j is None:
+            j = self._job = job_of(ctx, self._job_id)
+        return j
 
     def kv_map(self, ctx: LaneContext, key, *values) -> None:
         raise NotImplementedError(
@@ -238,14 +266,16 @@ class MapTask(UDThread):
         job's reduce binding — an asynchronous send with no response, so
         "each generates additional parallelism" (§4.1.2).
         """
-        job = job_of(ctx, self._job_id)
+        job = self._job
+        if job is None:
+            job = self._job = job_of(ctx, self._job_id)
         if job.reduce_cls is None:
             raise KVMSRError(
                 f"job {job.name!r} has no reduce phase; kv_emit is invalid"
             )
         lane = job.reduce_binding.lane_for(key, job.reduce_lanes)
         ctx.work(2)  # hash + lane arithmetic
-        ctx.spawn(lane, job.reduce_entry_label, self._job_id, key, *values)
+        ctx.spawn(lane, job.reduce_entry_label_id, self._job_id, key, *values)
         self._emitted += 1
 
     def add_emitted(self, n: int) -> None:
@@ -280,6 +310,7 @@ class ReduceTask(UDThread):
 
     def __init__(self) -> None:
         self._job_id: int = -1
+        self._job: Optional[KVMSRJob] = None
         self._flush_ack: Optional[int] = None
 
     @event
@@ -295,15 +326,31 @@ class ReduceTask(UDThread):
 
     # -- user API ----------------------------------------------------------
 
+    def job(self, ctx: LaneContext) -> KVMSRJob:
+        """This task's job descriptor (cached across the task's events)."""
+        j = self._job
+        if j is None:
+            j = self._job = job_of(ctx, self._job_id)
+        return j
+
     def kv_reduce(self, ctx: LaneContext, key, *values) -> None:
         raise NotImplementedError(
             f"{type(self).__name__} must implement kv_reduce"
         )
 
     def kv_reduce_return(self, ctx: LaneContext) -> None:
-        """Mark one reduce tuple fully processed; retires the thread."""
+        """Mark one reduce tuple fully processed; retires the thread.
+
+        Open-coded scratchpad bump (read + write, charged separately like
+        ``sp_read``/``sp_write`` would): one of these runs per emitted
+        tuple, machine-wide.
+        """
+        cost = ctx.costs.scratchpad_access
+        ctx.cycles += cost
+        ctx.cycles += cost
+        sp = ctx.lane.scratchpad
         counter = ("kvr", self._job_id)
-        ctx.sp_write(counter, ctx.sp_read(counter, 0) + 1)
+        sp[counter] = sp.get(counter, 0) + 1
         if not (ctx.yielded or ctx.terminated):
             ctx.yield_terminate()
 
@@ -345,6 +392,7 @@ class MapperLane(UDThread):
 
     def __init__(self) -> None:
         self.job_id = -1
+        self._job: Optional[KVMSRJob] = None
         self.coord_evw: Optional[int] = None
         self.master_req_evw: Optional[int] = None
         self.next_key = 0
@@ -364,6 +412,7 @@ class MapperLane(UDThread):
         hi: int,
     ):
         self.job_id = job_id
+        self._job = job_of(ctx, job_id)
         self.coord_evw = coord_evw
         self.master_req_evw = master_req_evw
         self.next_key, self.end_key = lo, hi
@@ -387,19 +436,30 @@ class MapperLane(UDThread):
             self._pump(ctx)
 
     def _pump(self, ctx: LaneContext) -> None:
-        job = job_of(ctx, self.job_id)
-        done_evw = ctx.self_evw("task_done")
-        while self.inflight < job.max_inflight and self.next_key < self.end_key:
-            ctx.spawn(
-                ctx.network_id,
-                job.map_entry_label,
-                self.job_id,
-                done_evw,
-                self.next_key,
-            )
-            self.next_key += 1
-            self.inflight += 1
-            ctx.work(2)  # loop + bookkeeping
+        job = self._job
+        if job is None:
+            job = self._job = job_of(ctx, self.job_id)
+        next_key = self.next_key
+        end_key = self.end_key
+        inflight = self.inflight
+        max_inflight = job.max_inflight
+        if inflight < max_inflight and next_key < end_key:
+            # Spawn-loop hot path: every map task in the whole run is
+            # issued here, so hoist the loop invariants (bound methods,
+            # lane id, interned entry label) out of the loop.
+            spawn = ctx.spawn
+            work = ctx.work
+            nwid = ctx.lane.network_id
+            label_id = job.map_entry_label_id
+            job_id = self.job_id
+            done_evw = ctx.self_evw("task_done")
+            while inflight < max_inflight and next_key < end_key:
+                spawn(nwid, label_id, job_id, done_evw, next_key)
+                next_key += 1
+                inflight += 1
+                work(2)  # loop + bookkeeping
+            self.next_key = next_key
+            self.inflight = inflight
         if self.inflight == 0 and self.next_key >= self.end_key:
             if self.master_req_evw is not None:
                 ctx.send_event(
@@ -696,7 +756,7 @@ def emit_to_reduce(ctx: LaneContext, job_id: int, key, *values) -> None:
         raise KVMSRError(f"job {job.name!r} has no reduce phase")
     lane = job.reduce_binding.lane_for(key, job.reduce_lanes)
     ctx.work(2)
-    ctx.spawn(lane, job.reduce_entry_label, job_id, key, *values)
+    ctx.spawn(lane, job.reduce_entry_label_id, job_id, key, *values)
 
 
 def _group_assignments(ctx: LaneContext, assignments) -> List[Tuple[int, list]]:

@@ -1,13 +1,22 @@
 """Simulation event records.
 
-The simulator's heap holds :class:`SimEvent` entries.  Two kinds exist:
+The simulator's heap holds plain ``(time, seq, record)`` tuples — tuple
+comparison on ``(time, seq)`` is the fastest total order CPython offers,
+and the heap sees one comparison per sift step on every one of the
+millions of events a run executes.  :class:`SimEvent` remains as a named
+view for code that wants field access over positional unpacking.
 
-* ``MESSAGE`` — an UpDown event message arriving at a lane.  Carries a
-  :class:`MessageRecord` describing the target (networkID, thread selector,
-  event label), the operands, and an optional continuation event word.
-* ``DRAM_RESPONSE`` — completion of a split-phase DRAM request, delivered
-  back to the issuing thread as a ``MESSAGE`` in practice; kept distinct in
-  statistics only.
+A :class:`MessageRecord` describes one UpDown event message: the target
+(networkID, thread selector, event label), the operands, and an optional
+continuation event word.  Records carry the label *twice*:
+
+* ``label`` — the human-readable ``"Class::event"`` string, used by host
+  mailbox filtering, traces, logs, and error messages;
+* ``label_id`` — the interned integer ID resolved once at send time, so
+  the dispatcher indexes a handler table instead of re-resolving the
+  string on every delivery.  ``label_id == -1`` marks a hand-built record
+  (tests, host tooling); the dispatcher falls back to string resolution
+  for those.
 
 The machine layer is deliberately ignorant of the UDWeave object model: it
 moves :class:`MessageRecord` values around and asks a registered *dispatcher*
@@ -17,7 +26,6 @@ dispatcher.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
 #: Thread-selector sentinel: create a new thread at delivery (``evw_new``).
@@ -26,32 +34,111 @@ NEW_THREAD: int = -1
 #: networkID sentinel: the simulation host (results mailbox), not a lane.
 HOST_NWID: int = -2
 
+#: label_id sentinel: label not interned; resolve the string instead.
+UNRESOLVED_LABEL: int = -1
 
-@dataclass(frozen=True)
+
 class MessageRecord:
     """One event message on the wire.
 
     ``thread`` is either a concrete thread-context ID on the target lane or
-    :data:`NEW_THREAD`.  ``label`` names the event handler.  ``continuation``
-    is an encoded event word (or ``None``) passed through to the handler as
+    :data:`NEW_THREAD`.  ``label`` names the event handler; ``label_id`` is
+    its interned integer form (see module docstring).  ``continuation`` is
+    an encoded event word (or ``None``) passed through to the handler as
     its reply-to address — the paper's continuation-passing composition
     (§2.1.3).
+
+    A plain ``__slots__`` class rather than a dataclass: record
+    construction sits on the per-send hot path, and the generated
+    frozen-dataclass ``__init__`` (one ``object.__setattr__`` per field)
+    costs several times more than direct slot assignment.
     """
 
-    network_id: int
-    thread: int
-    label: str
-    operands: Tuple[Any, ...] = ()
-    continuation: Optional[int] = None
-    src_network_id: Optional[int] = None
-    #: tag used by statistics ("msg" or "dram"); has no semantic effect.
-    kind: str = "msg"
+    __slots__ = (
+        "network_id",
+        "thread",
+        "label",
+        "operands",
+        "continuation",
+        "src_network_id",
+        "kind",
+        "label_id",
+    )
+
+    def __init__(
+        self,
+        network_id: int,
+        thread: int,
+        label: str,
+        operands: Tuple[Any, ...] = (),
+        continuation: Optional[int] = None,
+        src_network_id: Optional[int] = None,
+        kind: str = "msg",
+        label_id: int = UNRESOLVED_LABEL,
+    ) -> None:
+        self.network_id = network_id
+        self.thread = thread
+        self.label = label
+        self.operands = operands
+        self.continuation = continuation
+        self.src_network_id = src_network_id
+        #: tag used by statistics ("msg" or "dram"); has no semantic effect.
+        self.kind = kind
+        self.label_id = label_id
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (
+            self.network_id,
+            self.thread,
+            self.label,
+            self.operands,
+            self.continuation,
+            self.src_network_id,
+            self.kind,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MessageRecord):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MessageRecord(network_id={self.network_id}, "
+            f"thread={self.thread}, label={self.label!r}, "
+            f"operands={self.operands!r}, continuation={self.continuation!r})"
+        )
 
 
-@dataclass(order=True)
 class SimEvent:
-    """Heap entry: deterministic (time, seq) ordering."""
+    """Named view over a ``(time, seq, record)`` heap tuple.
 
-    time: float
-    seq: int
-    record: MessageRecord = field(compare=False)
+    The simulator's heap stores raw tuples (deterministic ``(time, seq)``
+    ordering; ``seq`` is unique so the record is never compared).  This
+    wrapper exists for API compatibility and debugging — construct one
+    from a heap tuple with ``SimEvent(*entry)``.
+    """
+
+    __slots__ = ("time", "seq", "record")
+
+    def __init__(self, time: float, seq: int, record: MessageRecord) -> None:
+        self.time = time
+        self.seq = seq
+        self.record = record
+
+    def astuple(self) -> Tuple[float, int, MessageRecord]:
+        return (self.time, self.seq, self.record)
+
+    def __lt__(self, other: "SimEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimEvent):
+            return NotImplemented
+        return self.astuple() == other.astuple()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimEvent(time={self.time}, seq={self.seq}, record={self.record!r})"

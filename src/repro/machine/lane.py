@@ -27,6 +27,7 @@ class Lane:
         "_next_tid",
         "_free_tids",
         "scratchpad",
+        "ctx_cache",
     )
 
     def __init__(self, network_id: int, node: int, accel: int) -> None:
@@ -43,6 +44,10 @@ class Lane:
         #: lane-private scratchpad storage (word-addressed key/value store);
         #: capacity policing is done by spmalloc.
         self.scratchpad: Dict[int, Any] = {}
+        #: opaque per-lane execution-context pool slot for the installed
+        #: dispatcher (the UDWeave runtime parks one reusable LaneContext
+        #: here instead of allocating a fresh one per event).
+        self.ctx_cache: Any = None
 
     def allocate_thread(self, thread_obj: Any) -> int:
         """Install ``thread_obj`` and return its thread-context ID.

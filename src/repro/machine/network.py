@@ -54,6 +54,10 @@ class Network:
         self.jitter_cycles = jitter_cycles
         self._rng = random.Random(seed)
         self._injection: Dict[int, InjectionChannel] = {}
+        # hot-path constants: latency() runs once or twice per message
+        self._local_base = float(config.local_msg_latency_cycles)
+        self._remote_base = float(config.remote_msg_latency_cycles)
+        self._injection_bw = config.node_injection_bytes_per_cycle
 
     def _channel(self, node: int) -> InjectionChannel:
         ch = self._injection.get(node)
@@ -63,10 +67,7 @@ class Network:
 
     def latency(self, src_node: int, dst_node: int) -> float:
         """One-way message latency in cycles."""
-        if src_node == dst_node:
-            base = float(self.config.local_msg_latency_cycles)
-        else:
-            base = float(self.config.remote_msg_latency_cycles)
+        base = self._local_base if src_node == dst_node else self._remote_base
         if self.jitter_cycles > 0.0:
             base += self._rng.uniform(0.0, self.jitter_cycles)
         return base
@@ -85,12 +86,20 @@ class Network:
         """
         if src_node is None:
             return t_issue
+        jitter = self.jitter_cycles
         if src_node == dst_node:
-            # Intra-node messages ride the on-chip network; no injection port.
-            return t_issue + self.latency(src_node, dst_node)
-        occupancy = nbytes / self.config.node_injection_bytes_per_cycle
+            # Intra-node messages ride the on-chip network; no injection
+            # port.  latency() is inlined here — one call per message.
+            base = self._local_base
+            if jitter > 0.0:
+                base += self._rng.uniform(0.0, jitter)
+            return t_issue + base
+        occupancy = nbytes / self._injection_bw
         departed = self._channel(src_node).admit(t_issue, occupancy, nbytes)
-        return departed + self.latency(src_node, dst_node)
+        base = self._remote_base
+        if jitter > 0.0:
+            base += self._rng.uniform(0.0, jitter)
+        return departed + base
 
     def injected_bytes(self, node: int) -> int:
         ch = self._injection.get(node)

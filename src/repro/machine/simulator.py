@@ -10,6 +10,16 @@ outgoing messages back through :meth:`Simulator.send` /
 Determinism: ties are broken by a monotone sequence number, and all
 latency jitter (used only by failure-injection tests) is seeded, so every
 simulation run is exactly reproducible.
+
+Hot path: event handlers model 10-100 machine instructions (paper
+§2.1.1), so a single figure-9 sweep point executes hundreds of thousands
+of Python-dispatched events and per-event overhead here dominates
+host-side wall-clock.  The drain loop therefore works on plain
+``(time, seq, record)`` heap tuples, caches the lane lookup across
+consecutive same-lane deliveries, inlines the lane busy-clock accounting,
+and keeps only scalar counters per event — per-label histograms are
+gated behind ``detailed_stats`` and per-lane cycle totals are recovered
+from the lanes themselves after the drain (see ``repro.machine.stats``).
 """
 
 from __future__ import annotations
@@ -18,7 +28,7 @@ import heapq
 from typing import Callable, List, Optional, Tuple
 
 from .config import MachineConfig
-from .events import HOST_NWID, MessageRecord, SimEvent
+from .events import HOST_NWID, MessageRecord
 from .lane import Lane
 from .memory import MemorySystem
 from .network import Network
@@ -43,22 +53,32 @@ class Simulator:
         seed: int = 0,
         memory_banks_per_node: int = 1,
         trace: bool = False,
+        detailed_stats: bool = False,
     ) -> None:
         self.config = config
         self.dispatcher = dispatcher
         self.network = Network(config, jitter_cycles=latency_jitter_cycles, seed=seed)
         self.memory = MemorySystem(config, banks_per_node=memory_banks_per_node)
-        self.stats = SimStats()
+        self.stats = SimStats(detailed=detailed_stats)
+        #: collect per-label event histograms (``stats.events_by_label``).
+        #: Off by default — it is the one per-event dict update the scalar
+        #: tier avoids; ``harness.inspect.event_report`` needs it on.
+        self.detailed_stats = detailed_stats
         #: optional message trace: (t_issue, t_deliver, src, dst, label)
         #: per send.  Off by default — tracing a large run is expensive.
         self.trace_enabled = trace
         self.trace: List[Tuple[float, float, Optional[int], int, str]] = []
-        self._heap: List[SimEvent] = []
+        self._heap: List[Tuple[float, int, MessageRecord]] = []
         self._seq = 0
         self._lanes: dict[int, Lane] = {}
         self.now: float = 0.0
         #: messages addressed to the host (program results / completion).
         self.host_inbox: List[Tuple[float, MessageRecord]] = []
+        # hot-path constants (avoid per-send property/attribute chains)
+        self._lanes_per_node = config.lanes_per_node
+        self._total_lanes = config.total_lanes
+        self._message_bytes = config.message_bytes
+        self._deliver_time = self.network.deliver_time
 
     # ------------------------------------------------------------------
     # Topology
@@ -94,34 +114,46 @@ class Simulator:
     ) -> float:
         """Put ``record`` on the wire at ``t_issue``; returns delivery time.
 
-        ``src_node=None`` is host injection (program start).
+        ``src_node=None`` is host injection (program start); those sends
+        are counted under ``messages_host_injected``, not as local fabric
+        traffic — they never touch the modeled network.
         """
-        if record.network_id == HOST_NWID:
+        stats = self.stats
+        nwid = record.network_id
+        if nwid == HOST_NWID:
             # Results mailbox: charge the send at the source but deliver
             # instantly — the host is outside the modeled machine.
-            self._push(t_issue, record)
-            self.stats.messages_sent += 1
+            self._seq += 1
+            heapq.heappush(self._heap, (t_issue, self._seq, record))
+            stats.messages_sent += 1
             return t_issue
-        dst_node = self.config.node_of(record.network_id)
-        t_deliver = self.network.deliver_time(
-            t_issue, src_node, dst_node, self.config.message_bytes
+        if not 0 <= nwid < self._total_lanes:
+            raise ValueError(
+                f"networkID {nwid} out of range [0, {self._total_lanes})"
+            )
+        dst_node = nwid // self._lanes_per_node
+        t_deliver = self._deliver_time(
+            t_issue, src_node, dst_node, self._message_bytes
         )
-        self._push(t_deliver, record)
-        self.stats.messages_sent += 1
+        self._seq += 1
+        heapq.heappush(self._heap, (t_deliver, self._seq, record))
+        stats.messages_sent += 1
         if self.trace_enabled:
             self.trace.append(
                 (
                     t_issue,
                     t_deliver,
                     record.src_network_id,
-                    record.network_id,
+                    nwid,
                     record.label,
                 )
             )
-        if src_node is None or src_node == dst_node:
-            self.stats.messages_local += 1
+        if src_node is None:
+            stats.messages_host_injected += 1
+        elif src_node == dst_node:
+            stats.messages_local += 1
         else:
-            self.stats.messages_remote += 1
+            stats.messages_remote += 1
         return t_deliver
 
     def dram_transaction(
@@ -152,25 +184,27 @@ class Simulator:
         t_back = result.response_ready + (
             self.network.latency(memory_node, src_node) if remote else 0.0
         )
+        stats = self.stats
         if is_read:
-            self.stats.dram_reads += 1
-            self.stats.dram_bytes_read += nbytes
+            stats.dram_reads += 1
+            stats.dram_bytes_read += nbytes
         else:
-            self.stats.dram_writes += 1
-            self.stats.dram_bytes_written += nbytes
+            stats.dram_writes += 1
+            stats.dram_bytes_written += nbytes
         if remote:
-            self.stats.dram_remote_accesses += 1
+            stats.dram_remote_accesses += 1
         if response is not None:
             self._push(t_back, response)
         else:
             # Fire-and-forget writes still occupy the machine until they
             # land; the makespan must cover them.
-            self.stats.final_tick = max(self.stats.final_tick, t_back)
+            if t_back > stats.final_tick:
+                stats.final_tick = t_back
         return t_back
 
     def _push(self, time: float, record: MessageRecord) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, SimEvent(time, self._seq, record))
+        heapq.heappush(self._heap, (time, self._seq, record))
 
     # ------------------------------------------------------------------
     # Execution
@@ -185,31 +219,82 @@ class Simulator:
 
         ``max_events`` guards against runaway programs in tests.
         """
-        if self.dispatcher is None:
+        dispatcher = self.dispatcher
+        if dispatcher is None:
             raise SimulationError("no dispatcher installed")
+        # Locals for everything the per-event path touches: attribute
+        # loads in CPython cost as much as the arithmetic they guard.
+        heap = self._heap
+        heappop = heapq.heappop
+        lanes = self._lanes
+        lane_of = self.lane
+        stats = self.stats
+        host_inbox = self.host_inbox
+        detailed = self.detailed_stats
+        events_by_label = stats.events_by_label
+        final_tick = stats.final_tick
+        events_executed = 0
+        host_nwid = HOST_NWID
+        # Lane cache: KVMSR map loops and reduce shuffles deliver bursts
+        # of consecutive events to the same lane; skip the dict probe.
+        cached_nwid = -1
+        cached_lane: Optional[Lane] = None
         processed = 0
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            self.now = ev.time
-            rec = ev.record
-            if rec.network_id == HOST_NWID:
-                self.host_inbox.append((ev.time, rec))
-                self.stats.final_tick = max(self.stats.final_tick, ev.time)
-                continue
-            ln = self.lane(rec.network_id)
-            start = max(ev.time, ln.busy_until)
-            cycles = self.dispatcher(self, ln, rec, start)
-            end = ln.account_execution(start, cycles)
-            self.stats.events_executed += 1
-            self.stats.events_by_label[rec.label] += 1
-            self.stats.busy_cycles_by_lane[ln.network_id] += cycles
-            self.stats.final_tick = max(self.stats.final_tick, end)
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                raise SimulationError(
-                    f"simulation exceeded max_events={max_events}"
-                )
-        return self.stats
+        try:
+            while heap:
+                ev_time, _seq, rec = heappop(heap)
+                self.now = ev_time
+                nwid = rec.network_id
+                if nwid == host_nwid:
+                    host_inbox.append((ev_time, rec))
+                    if ev_time > final_tick:
+                        final_tick = ev_time
+                    continue
+                if nwid == cached_nwid:
+                    ln = cached_lane
+                else:
+                    ln = lanes.get(nwid)
+                    if ln is None:
+                        ln = lane_of(nwid)
+                    cached_nwid = nwid
+                    cached_lane = ln
+                busy_until = ln.busy_until
+                start = ev_time if ev_time > busy_until else busy_until
+                cycles = dispatcher(self, ln, rec, start)
+                # inline Lane.account_execution — one call per event adds up
+                end = start + cycles
+                ln.busy_until = end
+                ln.busy_cycles += cycles
+                ln.events_executed += 1
+                events_executed += 1
+                if detailed:
+                    events_by_label[rec.label] += 1
+                if end > final_tick:
+                    final_tick = end
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded max_events={max_events}"
+                    )
+        finally:
+            stats.events_executed += events_executed
+            if final_tick > stats.final_tick:
+                stats.final_tick = final_tick
+            self._sync_lane_stats()
+        return stats
+
+    def _sync_lane_stats(self) -> None:
+        """Copy per-lane busy-cycle totals into ``stats``.
+
+        Lanes accumulate their own cycles event by event (same float
+        addition order the old per-event dict update used), so this
+        post-drain copy is bit-identical to hot-path maintenance — at
+        zero per-event cost.
+        """
+        by_lane = self.stats.busy_cycles_by_lane
+        for nwid, ln in self._lanes.items():
+            if ln.busy_cycles:
+                by_lane[nwid] = ln.busy_cycles
 
     # ------------------------------------------------------------------
     # Results

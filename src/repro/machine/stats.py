@@ -4,6 +4,19 @@ Counters mirror what the authors' Fastsim reports (ticks, per-lane
 execution cycles, message counts) and what the artifact appendix extracts
 from the ``BASIM_PRINT`` / ``perflog.tsv`` logs: the benchmarks compute
 simulated seconds as ``ticks / 2 GHz``.
+
+Statistics are **tiered** (see DESIGN.md, "Simulator hot path & stats
+tiers"):
+
+* *Scalar* counters (message/DRAM/event/thread totals, ``final_tick``)
+  are always maintained — they are single integer adds on the hot path.
+* ``busy_cycles_by_lane`` is always *available* but costs nothing per
+  event: each :class:`~repro.machine.lane.Lane` already accumulates its
+  own busy cycles, and the simulator copies them into this dict when the
+  run drains (identical floats — same per-lane accumulation order).
+* ``events_by_label`` is the one genuinely per-event histogram; it is
+  populated only when the simulator was built with ``detailed_stats=True``
+  (``harness.inspect.event_report`` needs it; nothing else does).
 """
 
 from __future__ import annotations
@@ -20,6 +33,10 @@ class SimStats:
     messages_sent: int = 0
     messages_local: int = 0
     messages_remote: int = 0
+    #: host-injected messages (``src_node=None``: program starts, test
+    #: harness sends).  These bypass the modeled fabric and are neither
+    #: local nor remote traffic.
+    messages_host_injected: int = 0
     dram_reads: int = 0
     dram_writes: int = 0
     dram_bytes_read: int = 0
@@ -31,9 +48,12 @@ class SimStats:
     busy_cycles_by_lane: Dict[int, float] = field(
         default_factory=lambda: defaultdict(float)
     )
+    #: per-label event counts; populated only under ``detailed_stats``.
     events_by_label: Dict[str, int] = field(
         default_factory=lambda: defaultdict(int)
     )
+    #: whether per-label histograms were collected for this run.
+    detailed: bool = False
     #: final simulated time in cycles (the makespan).
     final_tick: float = 0.0
 
@@ -58,6 +78,29 @@ class SimStats:
             return 1.0
         mean = sum(busy) / len(busy)
         return max(busy) / mean if mean > 0 else 1.0
+
+    def scalar_snapshot(self) -> Dict[str, float]:
+        """The always-on scalar counters as a plain dict.
+
+        The determinism-parity tests compare these across runs; histogram
+        dicts are excluded because ``events_by_label`` is intentionally
+        empty without ``detailed_stats``.
+        """
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_local": self.messages_local,
+            "messages_remote": self.messages_remote,
+            "messages_host_injected": self.messages_host_injected,
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+            "dram_bytes_read": self.dram_bytes_read,
+            "dram_bytes_written": self.dram_bytes_written,
+            "dram_remote_accesses": self.dram_remote_accesses,
+            "events_executed": self.events_executed,
+            "threads_created": self.threads_created,
+            "threads_terminated": self.threads_terminated,
+            "final_tick": self.final_tick,
+        }
 
     def summary(self) -> str:
         return (

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Sequence, Union
 
-from repro.machine.events import MessageRecord
+from repro.machine.events import NEW_THREAD, MessageRecord
 from repro.machine.lane import Lane
 
 from . import eventword
@@ -42,12 +42,22 @@ class UDWeaveError(RuntimeError):
 
 
 class LaneContext:
-    """Execution context of one event activation on one lane."""
+    """Execution context of one event activation on one lane.
+
+    Contexts are *pooled*: the runtime parks one instance per lane
+    (``Lane.ctx_cache``) and calls :meth:`_reset` at each dispatch instead
+    of constructing a fresh object per event — events on a lane execute
+    atomically and nothing may retain a context across activations, so a
+    single reusable instance per lane is safe and saves an allocation plus
+    ``__init__`` on every event.  The fields fixed per lane (``runtime``,
+    ``sim``, ``lane``, ``costs``) are set once at pool construction.
+    """
 
     __slots__ = (
         "runtime",
         "sim",
         "lane",
+        "costs",
         "thread",
         "tid",
         "record",
@@ -69,11 +79,26 @@ class LaneContext:
         self.runtime = runtime
         self.sim = runtime.sim
         self.lane = lane
+        #: Table 2 cost bundle, cached — intrinsics charge cycles on every
+        #: call and ``self.costs`` beats the three-hop attribute chain.
+        self.costs = runtime.config.costs
         self.thread = thread
         self.tid = tid
         self.record = record
         self.start = start
-        self.cycles: float = float(runtime.config.costs.event_dispatch)
+        self.cycles: float = float(self.costs.event_dispatch)
+        self.yielded = False
+        self.terminated = False
+
+    def _reset(
+        self, thread: UDThread, tid: int, record: MessageRecord, start: float
+    ) -> None:
+        """Rearm this pooled context for the next event activation."""
+        self.thread = thread
+        self.tid = tid
+        self.record = record
+        self.start = start
+        self.cycles = float(self.costs.event_dispatch)
         self.yielded = False
         self.terminated = False
 
@@ -110,9 +135,12 @@ class LaneContext:
     @property
     def cevnt(self) -> int:
         """Event word of the *current* event (the paper's ``CEVNT``)."""
+        label_id = self.record.label_id
+        if label_id < 0:
+            label_id = self.runtime.label_id(self.record.label)
         return eventword.encode(
             self.lane.network_id,
-            self.runtime.label_id(self.record.label),
+            label_id,
             thread=self.tid,
         )
 
@@ -167,14 +195,13 @@ class LaneContext:
             return
         if delay < 0:
             raise UDWeaveError("send delay cannot be negative")
-        costs = self.config.costs
+        costs = self.costs
         self.cycles += (
             costs.send_message_with_cont if cont is not None else costs.send_message
         )
-        record = self.runtime.record_for(
-            evw, operands, cont, src_network_id=self.lane.network_id
-        )
-        self.sim.send(record, self.time + delay, src_node=self.lane.node)
+        lane = self.lane
+        record = self.runtime.record_for(evw, operands, cont, lane.network_id)
+        self.sim.send(record, self.start + self.cycles + delay, lane.node)
 
     def send_reply(self, *operands: Any, cont: Optional[int] = IGNRCONT) -> None:
         """Send to the incoming continuation (no-op when IGNRCONT)."""
@@ -187,8 +214,36 @@ class LaneContext:
         *operands: Any,
         cont: Optional[int] = IGNRCONT,
     ) -> None:
-        """Sugar: ``send_event(evw_new(network_id, label), ...)``."""
-        self.send_event(self.evw_new(network_id, label), *operands, cont=cont)
+        """Sugar: ``send_event(evw_new(network_id, label), ...)``.
+
+        Flattened: spawns dominate KVMSR traffic (every map task and every
+        emitted tuple is one), so the record is built directly instead of
+        packing an event word in ``evw_new`` only for ``record_for`` to
+        unpack it again.  Semantics are identical, including the
+        out-of-range ``network_id`` error ``evw_new`` raised.
+        """
+        runtime = self.runtime
+        label_id = runtime.resolve_label_id(label, self.thread)
+        if network_id < 0 or network_id > eventword.MAX_NETWORK_ID:
+            raise eventword.EventWordError(
+                f"networkID {network_id} out of range"
+            )
+        costs = self.costs
+        self.cycles += (
+            costs.send_message_with_cont if cont is not None else costs.send_message
+        )
+        lane = self.lane
+        record = MessageRecord(
+            network_id,
+            NEW_THREAD,
+            runtime.program.label_name(label_id),
+            operands,
+            cont,
+            lane.network_id,
+            "msg",
+            label_id,
+        )
+        self.sim.send(record, self.start + self.cycles, lane.node)
 
     # ------------------------------------------------------------------
     # Global memory (split-phase)
@@ -211,22 +266,23 @@ class LaneContext:
             raise UDWeaveError(
                 f"DRAM reads move 1..{MAX_DRAM_READ_WORDS} words, got {nwords}"
             )
-        costs = self.config.costs
-        self.cycles += costs.send_dram_with_cont
-        gmem = self.runtime.gmem
+        self.cycles += self.costs.send_dram_with_cont
+        runtime = self.runtime
+        gmem = runtime.gmem
         mem_node, local_offset = gmem.translate(va)
         values = gmem.read_words(va, nwords)
         operands = values if tag is None else (tag, *values)
+        label_id = runtime.resolve_label_id(return_label, self.thread)
+        nwid = self.lane.network_id
         response = MessageRecord(
-            network_id=self.lane.network_id,
-            thread=self.tid,
-            label=self.runtime.label_name(
-                self.runtime.resolve_label_id(return_label, self.thread)
-            ),
-            operands=operands,
-            continuation=None,
-            src_network_id=self.lane.network_id,
-            kind="dram",
+            nwid,
+            self.tid,
+            runtime.label_name(label_id),
+            operands,
+            None,
+            nwid,
+            "dram",
+            label_id,
         )
         self.sim.dram_transaction(
             response,
@@ -248,7 +304,7 @@ class LaneContext:
         """Issue a split-phase DRAM write; optional completion ack event."""
         if len(values) < 1:
             raise UDWeaveError("DRAM write needs at least one word")
-        costs = self.config.costs
+        costs = self.costs
         self.cycles += (
             costs.send_dram_with_cont if ack_label is not None else costs.send_dram
         )
@@ -257,16 +313,17 @@ class LaneContext:
         gmem.write_words(va, list(values))
         response = None
         if ack_label is not None:
+            label_id = self.runtime.resolve_label_id(ack_label, self.thread)
+            nwid = self.lane.network_id
             response = MessageRecord(
-                network_id=self.lane.network_id,
-                thread=self.tid,
-                label=self.runtime.label_name(
-                    self.runtime.resolve_label_id(ack_label, self.thread)
-                ),
-                operands=() if tag is None else (tag,),
-                continuation=None,
-                src_network_id=self.lane.network_id,
-                kind="dram",
+                nwid,
+                self.tid,
+                self.runtime.label_name(label_id),
+                () if tag is None else (tag,),
+                None,
+                nwid,
+                "dram",
+                label_id,
             )
         self.sim.dram_transaction(
             response,
@@ -284,12 +341,12 @@ class LaneContext:
 
     def sp_read(self, key: Any, default: Any = None) -> Any:
         """Load from the lane-private scratchpad (1 cycle)."""
-        self.cycles += self.config.costs.scratchpad_access
+        self.cycles += self.costs.scratchpad_access
         return self.lane.scratchpad.get(key, default)
 
     def sp_write(self, key: Any, value: Any) -> None:
         """Store to the lane-private scratchpad (1 cycle)."""
-        self.cycles += self.config.costs.scratchpad_access
+        self.cycles += self.costs.scratchpad_access
         self.lane.scratchpad[key] = value
 
     def sp_malloc(self, nwords: int) -> int:
@@ -348,18 +405,18 @@ class LaneContext:
         """Charge ``instructions`` of straight-line compute to this event."""
         if instructions < 0:
             raise UDWeaveError("cannot charge negative work")
-        self.cycles += instructions * self.config.costs.instruction
+        self.cycles += instructions * self.costs.instruction
 
     def yield_(self) -> None:
         """End the event, preserving the thread (paper's ``yield``)."""
         if self.yielded or self.terminated:
             raise UDWeaveError("event already ended")
-        self.cycles += self.config.costs.thread_yield
+        self.cycles += self.costs.thread_yield
         self.yielded = True
 
     def yield_terminate(self) -> None:
         """End the event and deallocate the thread (``yield_terminate``)."""
         if self.yielded or self.terminated:
             raise UDWeaveError("event already ended")
-        self.cycles += self.config.costs.thread_deallocate
+        self.cycles += self.costs.thread_deallocate
         self.terminated = True

@@ -29,6 +29,12 @@ class Program:
         #: label id -> (thread class, handler attribute name)
         self._handlers: Dict[int, Tuple[type, str]] = {}
         self._classes: Dict[str, type] = {}
+        #: label id -> (thread class, handler function) — the dispatch
+        #: table.  Indexing a list by the interned ``label_id`` replaces
+        #: a string dict lookup + attribute ``getattr`` on every event;
+        #: the function is called unbound (``func(thread, ctx, *ops)``)
+        #: so no bound-method object is created per dispatch.
+        self.handler_table: List[Tuple[type, object]] = []
 
     def register(self, thread_cls: type) -> type:
         """Register a thread class and all of its ``@event`` handlers.
@@ -59,6 +65,9 @@ class Program:
             self._label_ids[label] = label_id
             self._label_names.append(label)
             self._handlers[label_id] = (thread_cls, attr)
+            # getattr on the class resolves through the MRO, so inherited
+            # events dispatch to the most-derived override.
+            self.handler_table.append((thread_cls, getattr(thread_cls, attr)))
         return thread_cls
 
     # ------------------------------------------------------------------

@@ -19,6 +19,17 @@ from repro.memmodel.drammalloc import GlobalMemory
 from repro.memmodel.spmalloc import SpAllocator
 
 from . import eventword
+from .eventword import (
+    FLAG_HOST,
+    FLAG_NEW_THREAD,
+    EventWordError,
+    _FLAG_SHIFT,
+    _LABEL_MASK,
+    _LABEL_SHIFT,
+    _NWID_MASK,
+    _THREAD_MASK,
+    _THREAD_SHIFT,
+)
 from .context import IGNRCONT, LaneContext, UDWeaveError
 from .program import Program, ProgramError
 from .thread import UDThread
@@ -38,6 +49,7 @@ class UpDownRuntime:
         latency_jitter_cycles: float = 0.0,
         seed: int = 0,
         memory_banks_per_node: int = 1,
+        detailed_stats: bool = False,
     ) -> None:
         self.config = config
         self.program = program if program is not None else Program()
@@ -47,6 +59,7 @@ class UpDownRuntime:
             latency_jitter_cycles=latency_jitter_cycles,
             seed=seed,
             memory_banks_per_node=memory_banks_per_node,
+            detailed_stats=detailed_stats,
         )
         self.gmem = GlobalMemory(config)
         self.spalloc = SpAllocator(sp_capacity_words)
@@ -55,6 +68,16 @@ class UpDownRuntime:
         #: program events; they terminate at the simulation host).
         self._host_labels: Dict[str, int] = {}
         self._host_label_names: List[str] = []
+        #: (thread class, label reference) -> label id.  Label resolution
+        #: is pure (registered ids never change, and a registered subclass
+        #: always owns a qualified alias for every inherited event), so
+        #: hot senders like ``ctx.self_evw("task_done")`` hit this dict
+        #: instead of re-walking the MRO with try/except per send.
+        self._resolve_cache: Dict[Tuple[type, str], int] = {}
+        #: direct reference to the program's dispatch table; ``register``
+        #: appends in place so the list identity is stable for the
+        #: runtime's lifetime and the dispatcher skips one attribute hop.
+        self._handler_table = self.program.handler_table
 
     # ------------------------------------------------------------------
     # Program construction
@@ -90,21 +113,33 @@ class UpDownRuntime:
         if isinstance(label, int):
             self.program.label_name(label)  # validates
             return label
+        if context_thread is not None:
+            key = (type(context_thread), label)
+            cached = self._resolve_cache.get(key)
+            if cached is not None:
+                return cached
         if "::" in label:
-            return self.program.label_id(label)
-        if context_thread is None:
+            label_id = self.program.label_id(label)
+        elif context_thread is None:
             raise ProgramError(
                 f"bare event name {label!r} needs a thread context to resolve"
             )
-        for klass in type(context_thread).__mro__:
-            try:
-                return self.program.label_id(f"{klass.__name__}::{label}")
-            except ProgramError:
-                continue
-        raise ProgramError(
-            f"event {label!r} not registered for "
-            f"{type(context_thread).__name__} or its bases"
-        )
+        else:
+            label_id = -1
+            for klass in type(context_thread).__mro__:
+                try:
+                    label_id = self.program.label_id(f"{klass.__name__}::{label}")
+                    break
+                except ProgramError:
+                    continue
+            if label_id < 0:
+                raise ProgramError(
+                    f"event {label!r} not registered for "
+                    f"{type(context_thread).__name__} or its bases"
+                )
+        if context_thread is not None:
+            self._resolve_cache[key] = label_id
+        return label_id
 
     def evw(
         self, network_id: int, label: str, thread: Optional[int] = None
@@ -137,23 +172,33 @@ class UpDownRuntime:
         src_network_id: Optional[int],
     ) -> MessageRecord:
         """Build the wire record for a send to event word ``evw``."""
-        network_id, label_id, thread, is_host = eventword.decode(evw)
-        if is_host:
+        # eventword.decode, inlined — this runs once per message send.
+        if evw < 0 or evw >= 1 << 64:
+            raise EventWordError(f"event word {evw:#x} is not a 64-bit value")
+        flags = evw >> _FLAG_SHIFT
+        label_id = (evw >> _LABEL_SHIFT) & _LABEL_MASK
+        if flags & FLAG_HOST:
             return MessageRecord(
-                network_id=HOST_NWID,
-                thread=0,
-                label=self._host_label_names[label_id],
-                operands=operands,
-                continuation=cont,
-                src_network_id=src_network_id,
+                HOST_NWID,
+                0,
+                self._host_label_names[label_id],
+                operands,
+                cont,
+                src_network_id,
+                "msg",
+                label_id,
             )
         return MessageRecord(
-            network_id=network_id,
-            thread=NEW_THREAD if thread is None else thread,
-            label=self.program.label_name(label_id),
-            operands=operands,
-            continuation=cont,
-            src_network_id=src_network_id,
+            evw & _NWID_MASK,
+            NEW_THREAD
+            if flags & FLAG_NEW_THREAD
+            else (evw >> _THREAD_SHIFT) & _THREAD_MASK,
+            self.program.label_name(label_id),
+            operands,
+            cont,
+            src_network_id,
+            "msg",
+            label_id,
         )
 
     # ------------------------------------------------------------------
@@ -192,33 +237,48 @@ class UpDownRuntime:
     def _dispatch(
         self, sim: Simulator, lane: Lane, record: MessageRecord, start: float
     ) -> float:
-        cls, attr = self.program.handler(self.program.label_id(record.label))
-        if record.thread == NEW_THREAD:
+        # Interned fast path: records built by this runtime carry the
+        # label id resolved at send time; hand-built records (tests) fall
+        # back to string resolution.
+        label_id = record.label_id
+        if label_id < 0:
+            label_id = self.program.label_id(record.label)
+        cls, func = self._handler_table[label_id]
+        tid = record.thread
+        if tid == NEW_THREAD:
             thread_obj = cls()
             tid = lane.allocate_thread(thread_obj)
             sim.stats.threads_created += 1
         else:
-            tid = record.thread
-            thread_obj = lane.get_thread(tid)
+            thread_obj = lane.threads.get(tid)
             if thread_obj is None:
                 raise UDWeaveError(
                     f"event {record.label!r} addressed dead thread {tid} "
                     f"on lane {lane.network_id}"
                 )
-            if not isinstance(thread_obj, cls):
-                raise UDWeaveError(
-                    f"event {record.label!r} delivered to thread of type "
-                    f"{type(thread_obj).__name__} on lane {lane.network_id}"
-                )
-        ctx = LaneContext(self, lane, thread_obj, tid, record, start)
-        handler = getattr(thread_obj, attr)
-        handler(ctx, *record.operands)
-        if not (ctx.yielded or ctx.terminated):
+            if thread_obj.__class__ is not cls:
+                if not isinstance(thread_obj, cls):
+                    raise UDWeaveError(
+                        f"event {record.label!r} delivered to thread of type "
+                        f"{type(thread_obj).__name__} on lane {lane.network_id}"
+                    )
+                # Subclass instance addressed via a base-class label:
+                # honor the instance's own override, like getattr did.
+                func = getattr(type(thread_obj), self.program.handler(label_id)[1])
+        ctx = lane.ctx_cache
+        if ctx is None:
+            ctx = lane.ctx_cache = LaneContext(
+                self, lane, thread_obj, tid, record, start
+            )
+        else:
+            ctx._reset(thread_obj, tid, record, start)
+        func(thread_obj, ctx, *record.operands)
+        if ctx.terminated:
+            lane.deallocate_thread(tid)
+            sim.stats.threads_terminated += 1
+        elif not ctx.yielded:
             raise UDWeaveError(
                 f"event {record.label!r} returned without yield or "
                 f"yield_terminate"
             )
-        if ctx.terminated:
-            lane.deallocate_thread(tid)
-            sim.stats.threads_terminated += 1
         return ctx.cycles

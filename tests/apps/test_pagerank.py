@@ -11,7 +11,8 @@ from repro.udweave import UpDownRuntime
 
 
 def run_pr(graph, nodes=2, iterations=1, **kw):
-    rt = UpDownRuntime(bench_machine(nodes=nodes))
+    # detailed_stats: structure tests below read events_by_label
+    rt = UpDownRuntime(bench_machine(nodes=nodes), detailed_stats=True)
     app = PageRankApp(rt, graph, max_degree=kw.pop("max_degree", 16), **kw)
     return app.run(iterations=iterations, max_events=5_000_000), rt
 

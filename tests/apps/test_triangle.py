@@ -10,7 +10,8 @@ from repro.udweave import UpDownRuntime
 
 
 def run_tc(graph, nodes=2, **kw):
-    rt = UpDownRuntime(bench_machine(nodes=nodes))
+    # detailed_stats: structure tests below read events_by_label
+    rt = UpDownRuntime(bench_machine(nodes=nodes), detailed_stats=True)
     app = TriangleCountApp(rt, graph, **kw)
     return app.run(max_events=10_000_000), rt
 

@@ -195,7 +195,8 @@ class TestInspect:
         from repro.machine import bench_machine
         from repro.udweave import UpDownRuntime
 
-        rt = UpDownRuntime(bench_machine(nodes=4))
+        # detailed_stats: event_report needs the per-label histogram
+        rt = UpDownRuntime(bench_machine(nodes=4), detailed_stats=True)
         PageRankApp(rt, rmat(7, seed=48), max_degree=16,
                     block_size=4096).run(max_events=10_000_000)
         return rt.sim

@@ -36,7 +36,8 @@ class TestHierarchy:
         """The start fan-out is two-level: the master's lane sends O(nodes)
         messages, not O(lanes) (the paper's multi-level control)."""
         nodes = 8
-        rt = UpDownRuntime(bench_machine(nodes=nodes))
+        # detailed_stats: the assertions below read events_by_label
+        rt = UpDownRuntime(bench_machine(nodes=nodes), detailed_stats=True)
         job = KVMSRJob(rt, QuickMap, RangeInput(64), reduce_cls=FastReduce)
         job.launch()
         stats = rt.run(max_events=2_000_000)
@@ -72,7 +73,7 @@ class TestHierarchy:
     def test_completion_waits_for_every_reduce(self):
         """With a long reduce tail, the completion message must still not
         fire until all reduces finished: total counted == emitted."""
-        rt = UpDownRuntime(bench_machine(nodes=2))
+        rt = UpDownRuntime(bench_machine(nodes=2), detailed_stats=True)
         job = KVMSRJob(
             rt,
             QuickMap,

@@ -96,6 +96,16 @@ class TestTransport:
         sim.send(MessageRecord(0, NEW_THREAD, "x"), 0.0, src_node=0)
         assert sim.stats.messages_local == 1
 
+    def test_host_injection_counted_separately(self, sim):
+        """A host-injected send (src_node=None) never rides the fabric, so
+        it must not be misclassified as local node traffic."""
+        sim.send(MessageRecord(0, NEW_THREAD, "x", src_network_id=None),
+                 0.0, src_node=None)
+        assert sim.stats.messages_host_injected == 1
+        assert sim.stats.messages_local == 0
+        assert sim.stats.messages_remote == 0
+        assert sim.stats.messages_sent == 1
+
     def test_host_messages_collected(self, sim):
         sim.inject(MessageRecord(HOST_NWID, 0, "done", operands=(42,)))
         sim.run()

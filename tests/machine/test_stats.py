@@ -45,3 +45,17 @@ class TestSimStats:
         s.messages_sent = 3
         text = s.summary()
         assert "events=7" in text and "msgs=3" in text
+
+    def test_scalar_snapshot_covers_counters_not_histograms(self):
+        s = SimStats()
+        s.events_executed = 7
+        s.messages_host_injected = 2
+        s.final_tick = 12.5
+        s.events_by_label["X::y"] = 7
+        snap = s.scalar_snapshot()
+        assert snap["events_executed"] == 7
+        assert snap["messages_host_injected"] == 2
+        assert snap["final_tick"] == 12.5
+        # histograms are a separate tier, not part of the scalar snapshot
+        assert "events_by_label" not in snap
+        assert "busy_cycles_by_lane" not in snap
