@@ -1,0 +1,91 @@
+"""Traced smoke run: record a seeded PageRank and validate the exports.
+
+Runs one small PageRank with the flight recorder at the ``full`` tier,
+writes the Chrome ``trace_event`` JSON and the ``perflog.tsv``, and then
+checks the trace actually parses and carries the three track families the
+recorder promises (lane busy spans, network/DRAM channel admissions, and
+KVMSR phase spans).  CI runs this and uploads the trace as an artifact,
+so every green build ships a timeline you can drop into chrome://tracing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trace_smoke.py --out-dir trace_out
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+GRAPH_SCALE = 8
+GRAPH_SEED = 7
+MACHINE_NODES = 4
+
+
+def run_traced(out_dir: Path) -> dict:
+    """One recorded PageRank; returns {"trace": path, "perflog": path}."""
+    from repro.apps.pagerank import PageRankApp
+    from repro.graph.generators import rmat
+    from repro.harness import write_chrome_trace, write_perflog_tsv
+    from repro.harness.runner import BENCH_BLOCK_SIZE, bench_config
+    from repro.observe import make_recorder
+    from repro.udweave import UpDownRuntime
+
+    rt = UpDownRuntime(
+        bench_config(MACHINE_NODES), recorder=make_recorder("full")
+    )
+    app = PageRankApp(
+        rt, rmat(GRAPH_SCALE, seed=GRAPH_SEED), block_size=BENCH_BLOCK_SIZE
+    )
+    app.run(iterations=1)
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = write_chrome_trace(out_dir / "pagerank_trace.json", rt.sim)
+    perflog_path = write_perflog_tsv(out_dir / "perflog.tsv", rt.sim)
+    return {"trace": trace_path, "perflog": perflog_path}
+
+
+def validate_trace(trace_path: Path) -> dict:
+    """Parse the trace and assert the required tracks; returns counts."""
+    data = json.loads(trace_path.read_text())
+    events = data["traceEvents"]
+    counts = {
+        "lane": sum(1 for e in events if e.get("cat") == "lane"),
+        "channel": sum(
+            1 for e in events if e.get("cat") in ("inj", "dram")
+        ),
+        "kvmsr": sum(1 for e in events if e.get("cat") == "kvmsr"),
+    }
+    missing = [track for track, n in counts.items() if n == 0]
+    if missing:
+        raise SystemExit(f"trace is missing tracks: {missing}")
+    return counts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=REPO_ROOT / "trace_out",
+        help="directory for the trace JSON and perflog.tsv",
+    )
+    args = parser.parse_args(argv)
+
+    paths = run_traced(args.out_dir)
+    counts = validate_trace(paths["trace"])
+    perflog_lines = paths["perflog"].read_text().count("\n")
+    print(
+        f"trace ok: {counts['lane']} lane spans, "
+        f"{counts['channel']} channel admissions, "
+        f"{counts['kvmsr']} kvmsr events -> {paths['trace']}"
+    )
+    print(f"perflog ok: {perflog_lines} rows -> {paths['perflog']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,19 @@
 """Experiment harness: runners, node sweeps, paper-style reports, LoC."""
 
-from .export import read_csv, write_series_csv, write_speedup_csv
-from .inspect import event_report, full_report, lane_report, memory_report
+from .export import (
+    read_csv,
+    write_chrome_trace,
+    write_perflog_tsv,
+    write_series_csv,
+    write_speedup_csv,
+)
+from .inspect import (
+    event_report,
+    full_report,
+    lane_report,
+    memory_report,
+    occupancy_report,
+)
 from .loc import TABLE5_MAP, TABLE5_PAPER_LOC, count_loc, repo_loc, table5_loc
 from .report import series_table, shape_summary, speedup_table
 from .runner import (
@@ -50,9 +62,12 @@ __all__ = [
     "TABLE5_PAPER_LOC",
     "write_speedup_csv",
     "write_series_csv",
+    "write_chrome_trace",
+    "write_perflog_tsv",
     "read_csv",
     "memory_report",
     "lane_report",
     "event_report",
+    "occupancy_report",
     "full_report",
 ]

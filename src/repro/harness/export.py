@@ -3,6 +3,10 @@
 Each Figure 9-12 benchmark prints a text table; this module writes the
 same series as machine-readable CSV so downstream users can re-plot the
 figures with their tool of choice.
+
+Also hosts the simulation-level exporters: a recorded run (see
+``repro.observe``) exports as a Chrome ``trace_event`` JSON timeline or
+as the artifact-style ``perflog.tsv`` counter log.
 """
 
 from __future__ import annotations
@@ -10,6 +14,9 @@ from __future__ import annotations
 import csv
 from pathlib import Path
 from typing import Mapping, Optional, Sequence
+
+from repro.observe import write_chrome_trace as _write_chrome_trace
+from repro.observe import write_perflog as _write_perflog
 
 
 def write_speedup_csv(
@@ -56,3 +63,34 @@ def read_csv(path) -> list:
     """Round-trip helper for tests."""
     with open(path, newline="") as fh:
         return list(csv.reader(fh))
+
+
+def _sim_recorder(sim):
+    if sim.recorder is None:
+        raise ValueError(
+            "simulation has no flight recorder: build the runtime with "
+            "record=... (see repro.observe)"
+        )
+    return sim.recorder
+
+
+def write_chrome_trace(path, sim) -> Path:
+    """Chrome ``trace_event`` JSON for a recorded simulation — open in
+    chrome://tracing or Perfetto.  Timestamps are simulated microseconds."""
+    return _write_chrome_trace(
+        path,
+        _sim_recorder(sim),
+        sim.config.clock_hz,
+        scalars=sim.stats.scalar_snapshot(),
+    )
+
+
+def write_perflog_tsv(path, sim) -> Path:
+    """The artifact-style ``perflog.tsv`` (kind/name/field/value rows) for
+    a recorded simulation; scalars are included even without a recorder."""
+    return _write_perflog(
+        path,
+        sim.recorder,
+        scalars=sim.stats.scalar_snapshot(),
+        busy_cycles_by_lane=dict(sim.stats.busy_cycles_by_lane),
+    )

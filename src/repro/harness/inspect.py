@@ -69,13 +69,56 @@ def event_report(sim: Simulator, top: int = 10) -> str:
     return "\n".join(lines)
 
 
+def occupancy_report(sim: Simulator, top: int = 8) -> str:
+    """Per-node injection and DRAM channel occupancy from the flight
+    recorder — which channel the run actually queued behind.
+
+    Requires the ``histograms`` recorder tier or above: build the runtime
+    with ``record="histograms"`` (or ``record=True``).
+    """
+    rec = sim.recorder
+    if rec is None or not rec.record_channels:
+        return (
+            "channel occupancy unavailable: run with record='histograms' "
+            "(or record=True) to collect channel telemetry"
+        )
+    makespan = sim.stats.final_tick or 1.0
+    lines = []
+    for title, by_node, wait_hist in (
+        ("injection channel", rec.inj_by_node, rec.inj_wait),
+        ("dram channel", rec.dram_by_node, rec.dram_wait),
+    ):
+        lines.append(
+            f"{title} (node, admits, bytes, occupancy_share, "
+            "mean_wait, max_wait)"
+        )
+        rows = sorted(
+            by_node.items(), key=lambda kv: -kv[1].occupancy_sum
+        )
+        if not rows:
+            lines.append("  (no traffic)")
+        for node, ch in rows[:top]:
+            lines.append(
+                f"{node:4}   {ch.admits:8}   {ch.bytes:10}   "
+                f"{ch.occupancy_sum / makespan:6.1%}   "
+                f"{ch.mean_wait:8.1f}   {ch.wait_max:8.1f}"
+            )
+        lines.append(
+            f"queue wait: count={wait_hist.count} "
+            f"mean={wait_hist.mean:.1f} max={wait_hist.max:.1f}"
+        )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
 def full_report(sim: Simulator) -> str:
-    """Summary + memory + lane + event reports, concatenated."""
-    return "\n\n".join(
-        [
-            sim.stats.summary(),
-            memory_report(sim),
-            lane_report(sim),
-            event_report(sim),
-        ]
-    )
+    """Summary + memory + lane + event (+ occupancy) reports."""
+    parts = [
+        sim.stats.summary(),
+        memory_report(sim),
+        lane_report(sim),
+        event_report(sim),
+    ]
+    if sim.recorder is not None and sim.recorder.record_channels:
+        parts.append(occupancy_report(sim))
+    return "\n\n".join(parts)

@@ -5,6 +5,12 @@ Every runner builds a scaled-down :func:`repro.machine.bench_machine`
 (lanes-per-node reduced 64×, with per-node memory and injection bandwidth
 scaled to match; see DESIGN.md) and returns the simulated seconds the
 artifact extracts from the logs (``ticks / 2 GHz``).
+
+Every runner also takes a ``record=`` flag (a tier name, ``True``, or a
+prebuilt :class:`~repro.observe.FlightRecorder`) that attaches a flight
+recorder to the run; the recorder lands in ``RunRecord.extra["recorder"]``
+ready for :func:`repro.harness.export.write_chrome_trace` /
+``write_perflog_tsv`` or :func:`repro.harness.inspect.occupancy_report`.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from repro.apps.tform import Record
 from repro.apps.triangle import TriangleCountApp
 from repro.graph.csr import CSRGraph
 from repro.machine.config import MachineConfig, bench_machine
+from repro.observe import make_recorder
 from repro.udweave import UpDownRuntime
 
 #: benchmark machine shape: 2 lanes/node (each simulated node models a
@@ -57,6 +64,23 @@ class RunRecord:
     extra: Dict[str, Any] = field(default_factory=dict)
 
 
+def _bench_runtime(
+    nodes: int, detailed_stats: bool, record, machine_overrides
+) -> UpDownRuntime:
+    """A fresh recorded-or-not benchmark runtime (shared by all runners)."""
+    return UpDownRuntime(
+        bench_config(nodes, **machine_overrides),
+        detailed_stats=detailed_stats,
+        recorder=make_recorder(record),
+    )
+
+
+def _attach_recorder(extra: Dict[str, Any], rt: UpDownRuntime) -> Dict[str, Any]:
+    if rt.recorder is not None:
+        extra["recorder"] = rt.recorder
+    return extra
+
+
 def run_pagerank(
     graph: CSRGraph,
     nodes: int,
@@ -65,13 +89,11 @@ def run_pagerank(
     mem_nodes: Optional[int] = None,
     max_events: int = DEFAULT_MAX_EVENTS,
     detailed_stats: bool = False,
+    record=None,
     **machine_overrides,
 ) -> RunRecord:
     """One PageRank run on a fresh scaled machine; returns its RunRecord."""
-    rt = UpDownRuntime(
-        bench_config(nodes, **machine_overrides),
-        detailed_stats=detailed_stats,
-    )
+    rt = _bench_runtime(nodes, detailed_stats, record, machine_overrides)
     app = PageRankApp(
         rt, graph, max_degree=max_degree, mem_nodes=mem_nodes,
         block_size=BENCH_BLOCK_SIZE,
@@ -81,7 +103,9 @@ def run_pagerank(
         nodes=nodes,
         seconds=res.elapsed_seconds,
         metric=res.giga_updates_per_second,
-        extra={"edges": res.edges_per_iteration, "stats": res.stats},
+        extra=_attach_recorder(
+            {"edges": res.edges_per_iteration, "stats": res.stats}, rt
+        ),
     )
 
 
@@ -94,13 +118,11 @@ def run_bfs(
     frontier_mem_nodes: Optional[int] = None,
     max_events: int = DEFAULT_MAX_EVENTS,
     detailed_stats: bool = False,
+    record=None,
     **machine_overrides,
 ) -> RunRecord:
     """One BFS run on a fresh scaled machine; returns its RunRecord."""
-    rt = UpDownRuntime(
-        bench_config(nodes, **machine_overrides),
-        detailed_stats=detailed_stats,
-    )
+    rt = _bench_runtime(nodes, detailed_stats, record, machine_overrides)
     app = BFSApp(
         rt,
         graph,
@@ -114,11 +136,14 @@ def run_bfs(
         nodes=nodes,
         seconds=res.elapsed_seconds,
         metric=res.giga_teps,
-        extra={
-            "rounds": res.rounds,
-            "traversed": res.traversed_edges,
-            "stats": res.stats,
-        },
+        extra=_attach_recorder(
+            {
+                "rounds": res.rounds,
+                "traversed": res.traversed_edges,
+                "stats": res.stats,
+            },
+            rt,
+        ),
     )
 
 
@@ -129,13 +154,11 @@ def run_triangle_count(
     mem_nodes: Optional[int] = None,
     max_events: int = DEFAULT_MAX_EVENTS,
     detailed_stats: bool = False,
+    record=None,
     **machine_overrides,
 ) -> RunRecord:
     """One TC run on a fresh scaled machine; returns its RunRecord."""
-    rt = UpDownRuntime(
-        bench_config(nodes, **machine_overrides),
-        detailed_stats=detailed_stats,
-    )
+    rt = _bench_runtime(nodes, detailed_stats, record, machine_overrides)
     app = TriangleCountApp(
         rt, graph, pbmw=pbmw, mem_nodes=mem_nodes, block_size=BENCH_BLOCK_SIZE
     )
@@ -144,7 +167,9 @@ def run_triangle_count(
         nodes=nodes,
         seconds=res.elapsed_seconds,
         metric=res.triangles / res.elapsed_seconds if res.elapsed_seconds else 0,
-        extra={"triangles": res.triangles, "stats": res.stats},
+        extra=_attach_recorder(
+            {"triangles": res.triangles, "stats": res.stats}, rt
+        ),
     )
 
 
@@ -154,20 +179,18 @@ def run_ingestion(
     block_words: int = 64,
     max_events: int = DEFAULT_MAX_EVENTS,
     detailed_stats: bool = False,
+    record=None,
     **machine_overrides,
 ) -> RunRecord:
     """One ingestion run on a fresh scaled machine; returns its RunRecord."""
-    rt = UpDownRuntime(
-        bench_config(nodes, **machine_overrides),
-        detailed_stats=detailed_stats,
-    )
+    rt = _bench_runtime(nodes, detailed_stats, record, machine_overrides)
     app = IngestionApp(rt, records, block_words=block_words)
     res = app.run(max_events=max_events)
     return RunRecord(
         nodes=nodes,
         seconds=res.elapsed_seconds,
         metric=res.records_per_second,
-        extra={"records": res.records, "stats": res.stats},
+        extra=_attach_recorder({"records": res.records, "stats": res.stats}, rt),
     )
 
 
@@ -178,18 +201,16 @@ def run_partial_match(
     gap_cycles: float = 2000.0,
     max_events: int = DEFAULT_MAX_EVENTS,
     detailed_stats: bool = False,
+    record=None,
     **machine_overrides,
 ) -> RunRecord:
     """One partial-match stream on a fresh scaled machine (latency metric)."""
-    rt = UpDownRuntime(
-        bench_config(nodes, **machine_overrides),
-        detailed_stats=detailed_stats,
-    )
+    rt = _bench_runtime(nodes, detailed_stats, record, machine_overrides)
     app = PartialMatchApp(rt, patterns)
     res = app.run_stream(records, gap_cycles=gap_cycles, max_events=max_events)
     return RunRecord(
         nodes=nodes,
         seconds=res.mean_latency_seconds,
         metric=1.0 / res.mean_latency_seconds if res.mean_latency_seconds else 0,
-        extra={"alerts": len(res.alerts), "stats": res.stats},
+        extra=_attach_recorder({"alerts": len(res.alerts), "stats": res.stats}, rt),
     )

@@ -66,8 +66,20 @@ def shape_agreement(
 
 
 def _ranks(values: Sequence[float]) -> List[float]:
+    """Average (fractional) ranks: tied values share the mean of the rank
+    positions they span, so the rank vector — and therefore
+    :func:`shape_agreement` — does not depend on input order when two node
+    counts tie on speedup."""
     order = sorted(range(len(values)), key=lambda i: values[i])
     ranks = [0.0] * len(values)
-    for rank, idx in enumerate(order):
-        ranks[idx] = float(rank)
+    i = 0
+    n = len(order)
+    while i < n:
+        j = i
+        while j + 1 < n and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        avg = (i + j) / 2.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg
+        i = j + 1
     return ranks

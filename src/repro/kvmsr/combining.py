@@ -74,7 +74,9 @@ class CombiningCache:
             vk = self._val_key(key)
             value = ctx.sp_read(vk)
             write(ctx, key, value)
-            ctx.sp_write(vk, None)
+            # Free the slot outright — a None tombstone would keep the
+            # drained entry occupying scratchpad across epochs.
+            ctx.sp_delete(vk)
             count += 1
         ctx.sp_write(self._keys_key(), [])
         return count
@@ -93,7 +95,10 @@ class CombiningCache:
         def write(c: LaneContext, key, value) -> None:
             idx = index_of(key)
             if accumulate:
-                value = value + region.data[idx]
+                # Read-modify-write: the stored value comes from DRAM and
+                # is charged as such (stall + channel occupancy), not
+                # peeked host-side for free.
+                value = value + c.dram_read_blocking(region.addr(idx), 1)[0]
             c.send_dram_write(region.addr(idx), [value])
 
         return self.flush(ctx, write)

@@ -177,6 +177,16 @@ def job_of(ctx: LaneContext, job_id: int) -> KVMSRJob:
         raise KVMSRError(f"unknown KVMSR job id {job_id}") from None
 
 
+def _phase_recorder(ctx: LaneContext):
+    """The runtime's flight recorder, if phase spans are being collected.
+
+    Simulated-zero-cost like ``ud_print``: phase transitions are host-side
+    observations (a handful per job), never lane cycles.
+    """
+    rec = ctx.runtime.recorder
+    return rec if rec is not None and rec.record_phases else None
+
+
 # ---------------------------------------------------------------------------
 # User task base classes
 # ---------------------------------------------------------------------------
@@ -599,6 +609,9 @@ class KVMSRMaster(UDThread):
         self.cont = ctx.ccont
         job = job_of(ctx, job_id)
         ctx.ud_print(f"UDKVMSR started for {job.name}")
+        rec = _phase_recorder(ctx)
+        if rec is not None:
+            rec.phase_begin(job.name, "job", ctx.time)
         n_keys = job.input.n_keys
         if n_keys == 0:
             self._complete(ctx)
@@ -614,6 +627,10 @@ class KVMSRMaster(UDThread):
         )
         groups = _group_assignments(ctx, assignments)
         self.phase = "map"
+        if rec is not None:
+            # The map span covers the start broadcast, the map tasks, and
+            # the shuffle they emit (kv_emit sends happen *during* map).
+            rec.phase_begin(job.name, "map", ctx.time)
         self.nodes_pending = len(groups)
         reply = ctx.self_evw("node_done")
         for coord_lane, asgs in groups:
@@ -652,16 +669,26 @@ class KVMSRMaster(UDThread):
             ctx.yield_()
             return
         job = job_of(ctx, self.job_id)
+        rec = _phase_recorder(ctx)
+        if rec is not None:
+            rec.phase_end(job.name, "map", ctx.time)
         if job.reduce_cls is None or self.total_emitted == 0:
             self._complete(ctx)
         else:
             self.phase = "reduce"
+            if rec is not None:
+                # In-flight reduce drain: from the last map completion to
+                # confirmed quiescence (the emit/reduce counts matching).
+                rec.phase_begin(job.name, "reduce", ctx.time)
             self._poll(ctx)
 
     # -- quiescence -----------------------------------------------------------
 
     def _poll(self, ctx: LaneContext) -> None:
         job = job_of(ctx, self.job_id)
+        rec = _phase_recorder(ctx)
+        if rec is not None:
+            rec.mark("quiescence_poll", ctx.time, job.name)
         groups = job.reduce_lanes.by_node(ctx.config)
         self.nodes_pending = len(groups)
         self.reduced_seen = 0
@@ -703,6 +730,10 @@ class KVMSRMaster(UDThread):
 
     def _flush(self, ctx: LaneContext) -> None:
         job = job_of(ctx, self.job_id)
+        rec = _phase_recorder(ctx)
+        if rec is not None:
+            rec.phase_end(job.name, "reduce", ctx.time)
+            rec.phase_begin(job.name, "flush", ctx.time)
         groups = job.reduce_lanes.by_node(ctx.config)
         self.phase = "flush"
         self.nodes_pending = len(groups)
@@ -731,9 +762,16 @@ class KVMSRMaster(UDThread):
     # -- completion ----------------------------------------------------------------
 
     def _complete(self, ctx: LaneContext) -> None:
-        ctx.ud_print(
-            f"UDKVMSR finished for {job_of(ctx, self.job_id).name}"
-        )
+        job = job_of(ctx, self.job_id)
+        rec = _phase_recorder(ctx)
+        if rec is not None:
+            # phase_end is a no-op for spans that never opened, so this
+            # closes whichever phases this job actually reached.
+            t = ctx.time
+            rec.phase_end(job.name, "flush", t)
+            rec.phase_end(job.name, "map", t)
+            rec.phase_end(job.name, "job", t)
+        ctx.ud_print(f"UDKVMSR finished for {job.name}")
         ctx.send_event(
             self.cont,
             self.total_tasks,

@@ -156,6 +156,25 @@ class MachineConfig:
         (``time[s] = ticks / 2e9`` per the artifact appendix)."""
         return cycles / self.clock_hz
 
+    @property
+    def remote_dram_transit_cycles(self) -> float:
+        """Per-direction fabric transit for a remote split-phase DRAM hop.
+
+        Derived from ``remote_dram_latency_ratio`` so the knob is what
+        actually sets the remote:local latency ratio (paper §3.2's 7:1):
+        an unloaded remote access costs ``dram_latency_cycles`` at the
+        device plus one transit each way, so a round trip of
+        ``(ratio - 1) * dram_latency_cycles`` lands the total at
+        ``ratio * dram_latency_cycles``.  Queueing (injection and DRAM
+        channel occupancy) adds on top under load — that is congestion,
+        not base latency.
+        """
+        return (
+            (self.remote_dram_latency_ratio - 1)
+            * self.dram_latency_cycles
+            / 2.0
+        )
+
     def scaled(self, nodes: int) -> "MachineConfig":
         """A copy of this configuration with a different node count.
 

@@ -25,7 +25,7 @@ from typing import Dict
 from .config import MachineConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class DramAccessResult:
     """Timing of one serviced DRAM request."""
 
@@ -80,12 +80,16 @@ class MemorySystem:
     #: detailed-mode bank interleave granularity (bytes)
     BANK_INTERLEAVE = 256
 
-    def __init__(self, config: MachineConfig, banks_per_node: int = 1) -> None:
+    def __init__(
+        self, config: MachineConfig, banks_per_node: int = 1, recorder=None
+    ) -> None:
         if banks_per_node < 1:
             raise ValueError("need at least one bank per node")
         self.config = config
         self.banks_per_node = banks_per_node
         self._channels: Dict[tuple, MemoryChannel] = {}
+        #: flight recorder for channel telemetry, or None (the off tier).
+        self.recorder = recorder
 
     def channel(self, node: int, bank: int = 0) -> MemoryChannel:
         key = (node, bank)
@@ -116,9 +120,19 @@ class MemorySystem:
         if requester_node != memory_node:
             bw *= cfg.remote_dram_bandwidth_ratio
         bank = self._bank_of(local_offset)
-        return self.channel(memory_node, bank).service(
+        result = self.channel(memory_node, bank).service(
             t_arrive, nbytes, bw, float(cfg.dram_latency_cycles)
         )
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.dram_sample(
+                memory_node,
+                result.service_start,
+                result.service_start - t_arrive,
+                result.occupancy,
+                nbytes,
+            )
+        return result
 
     def bytes_served(self, node: int) -> int:
         return sum(

@@ -40,6 +40,20 @@ class InjectionChannel:
         self.bytes_injected += nbytes
         return self.free_at
 
+    def admit_recorded(
+        self, t: float, occupancy: float, nbytes: int, recorder, node: int
+    ) -> float:
+        """:meth:`admit` plus a flight-recorder occupancy/queue-wait sample.
+
+        A separate method so the unrecorded hot path stays branch-free;
+        callers pick once per send based on whether a recorder is attached.
+        """
+        start = max(t, self.free_at)
+        self.free_at = start + occupancy
+        self.bytes_injected += nbytes
+        recorder.inj_sample(node, start, start - t, occupancy, nbytes)
+        return self.free_at
+
 
 class Network:
     """Latency + injection-bandwidth model of the PolarStar interconnect."""
@@ -49,20 +63,31 @@ class Network:
         config: MachineConfig,
         jitter_cycles: float = 0.0,
         seed: int = 0,
+        recorder=None,
     ) -> None:
         self.config = config
         self.jitter_cycles = jitter_cycles
         self._rng = random.Random(seed)
         self._injection: Dict[int, InjectionChannel] = {}
+        #: reply virtual channel per node (split-phase DRAM responses).
+        self._reply: Dict[int, InjectionChannel] = {}
         # hot-path constants: latency() runs once or twice per message
         self._local_base = float(config.local_msg_latency_cycles)
         self._remote_base = float(config.remote_msg_latency_cycles)
         self._injection_bw = config.node_injection_bytes_per_cycle
+        #: flight recorder for channel telemetry, or None (the off tier).
+        self.recorder = recorder
 
     def _channel(self, node: int) -> InjectionChannel:
         ch = self._injection.get(node)
         if ch is None:
             ch = self._injection[node] = InjectionChannel()
+        return ch
+
+    def _reply_channel(self, node: int) -> InjectionChannel:
+        ch = self._reply.get(node)
+        if ch is None:
+            ch = self._reply[node] = InjectionChannel()
         return ch
 
     def latency(self, src_node: int, dst_node: int) -> float:
@@ -94,13 +119,83 @@ class Network:
             if jitter > 0.0:
                 base += self._rng.uniform(0.0, jitter)
             return t_issue + base
+        ch = self._injection.get(src_node)
+        if ch is None:
+            ch = self._injection[src_node] = InjectionChannel()
         occupancy = nbytes / self._injection_bw
-        departed = self._channel(src_node).admit(t_issue, occupancy, nbytes)
+        recorder = self.recorder
+        if recorder is None:
+            # InjectionChannel.admit inlined — once per remote message.
+            free_at = ch.free_at
+            start = t_issue if t_issue > free_at else free_at
+            departed = ch.free_at = start + occupancy
+            ch.bytes_injected += nbytes
+        else:
+            departed = ch.admit_recorded(
+                t_issue, occupancy, nbytes, recorder, src_node
+            )
         base = self._remote_base
         if jitter > 0.0:
             base += self._rng.uniform(0.0, jitter)
         return departed + base
 
+    def dram_hop(
+        self,
+        t_issue: float,
+        src_node: int,
+        dst_node: int,
+        nbytes: int,
+        transit_cycles: float,
+        reply: bool = False,
+    ) -> float:
+        """One direction of a remote split-phase DRAM transfer.
+
+        Like :meth:`deliver_time`, the transfer occupies an injection
+        channel at the source node (DRAM-heavy apps saturate injection
+        exactly as message-heavy ones do), then rides the fabric for
+        ``transit_cycles`` — the knob-derived
+        :attr:`MachineConfig.remote_dram_transit_cycles`, kept
+        jitter-free so the memory system stays deterministic.  Intra-node
+        hops are free (the caller charges device latency).
+
+        ``reply=True`` selects the node's *reply* virtual channel, which
+        responses and write completions ride — the split request/reply
+        virtual-network separation real interconnects use against
+        protocol deadlock.  It also keeps each channel's admissions
+        time-ordered: requests are admitted at issue time, replies at
+        (future) device-response time, and the serially-occupied
+        ``free_at`` model is only accurate under monotone admission times
+        — mixing the two frames in one queue would block present-time
+        traffic behind reservations that have not physically started.
+        """
+        if src_node == dst_node:
+            return t_issue
+        chans = self._reply if reply else self._injection
+        ch = chans.get(src_node)
+        if ch is None:
+            ch = chans[src_node] = InjectionChannel()
+        occupancy = nbytes / self._injection_bw
+        recorder = self.recorder
+        if recorder is None:
+            # InjectionChannel.admit inlined: this runs twice per remote
+            # DRAM access, and the method call costs as much as the math.
+            free_at = ch.free_at
+            start = t_issue if t_issue > free_at else free_at
+            departed = ch.free_at = start + occupancy
+            ch.bytes_injected += nbytes
+        else:
+            departed = ch.admit_recorded(
+                t_issue, occupancy, nbytes, recorder, src_node
+            )
+        return departed + transit_cycles
+
     def injected_bytes(self, node: int) -> int:
+        """Bytes a node put on the fabric (request + reply channels)."""
+        total = 0
         ch = self._injection.get(node)
-        return ch.bytes_injected if ch is not None else 0
+        if ch is not None:
+            total += ch.bytes_injected
+        ch = self._reply.get(node)
+        if ch is not None:
+            total += ch.bytes_injected
+        return total

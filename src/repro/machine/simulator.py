@@ -31,7 +31,7 @@ from .config import MachineConfig
 from .events import HOST_NWID, MessageRecord
 from .lane import Lane
 from .memory import MemorySystem
-from .network import Network
+from .network import InjectionChannel, Network
 from .stats import SimStats
 
 #: dispatcher(sim, lane, record, start_time) -> cycles consumed
@@ -54,11 +54,27 @@ class Simulator:
         memory_banks_per_node: int = 1,
         trace: bool = False,
         detailed_stats: bool = False,
+        recorder=None,
     ) -> None:
         self.config = config
         self.dispatcher = dispatcher
-        self.network = Network(config, jitter_cycles=latency_jitter_cycles, seed=seed)
-        self.memory = MemorySystem(config, banks_per_node=memory_banks_per_node)
+        #: flight recorder (``repro.observe``), or None — the off tier.
+        #: Hook sites hold pre-bound methods (or None) so a disabled
+        #: recorder costs one pointer test, like ``detailed_stats``.
+        self.recorder = recorder
+        channel_rec = (
+            recorder if recorder is not None and recorder.record_channels
+            else None
+        )
+        self.network = Network(
+            config,
+            jitter_cycles=latency_jitter_cycles,
+            seed=seed,
+            recorder=channel_rec,
+        )
+        self.memory = MemorySystem(
+            config, banks_per_node=memory_banks_per_node, recorder=channel_rec
+        )
         self.stats = SimStats(detailed=detailed_stats)
         #: collect per-label event histograms (``stats.events_by_label``).
         #: Off by default — it is the one per-event dict update the scalar
@@ -79,6 +95,20 @@ class Simulator:
         self._total_lanes = config.total_lanes
         self._message_bytes = config.message_bytes
         self._deliver_time = self.network.deliver_time
+        self._dram_hop = self.network.dram_hop
+        self._dram_transit = config.remote_dram_transit_cycles
+        # Unrecorded runs inline the two per-remote-access channel
+        # admissions (Network.dram_hop semantics, same arithmetic) —
+        # the call overhead would otherwise dominate DRAM-heavy apps.
+        self._channels_recorded = channel_rec is not None
+        self._inj_channels = self.network._injection
+        self._reply_channels = self.network._reply
+        self._inj_bw = config.node_injection_bytes_per_cycle
+        self._rec_msg = (
+            recorder.message
+            if recorder is not None and recorder.record_messages
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Topology
@@ -119,13 +149,24 @@ class Simulator:
         traffic — they never touch the modeled network.
         """
         stats = self.stats
+        rec_msg = self._rec_msg
         nwid = record.network_id
         if nwid == HOST_NWID:
             # Results mailbox: charge the send at the source but deliver
-            # instantly — the host is outside the modeled machine.
+            # instantly — the host is outside the modeled machine.  Still
+            # a message: it appears in the trace and in the taxonomy
+            # (``messages_host_bound``), so result traffic is visible and
+            # the counters partition ``messages_sent``.
             self._seq += 1
             heapq.heappush(self._heap, (t_issue, self._seq, record))
             stats.messages_sent += 1
+            stats.messages_host_bound += 1
+            if self.trace_enabled:
+                self.trace.append(
+                    (t_issue, t_issue, record.src_network_id, nwid, record.label)
+                )
+            if rec_msg is not None:
+                rec_msg("host_bound", 0.0)
             return t_issue
         if not 0 <= nwid < self._total_lanes:
             raise ValueError(
@@ -150,10 +191,16 @@ class Simulator:
             )
         if src_node is None:
             stats.messages_host_injected += 1
+            if rec_msg is not None:
+                rec_msg("host_injected", t_deliver - t_issue)
         elif src_node == dst_node:
             stats.messages_local += 1
+            if rec_msg is not None:
+                rec_msg("local", t_deliver - t_issue)
         else:
             stats.messages_remote += 1
+            if rec_msg is not None:
+                rec_msg("remote", t_deliver - t_issue)
         return t_deliver
 
     def dram_transaction(
@@ -165,25 +212,78 @@ class Simulator:
         nbytes: int,
         is_read: bool,
         local_offset: int = 0,
+        blocking: bool = False,
     ) -> float:
         """Model one split-phase DRAM access; schedule ``response`` if given.
 
         Returns the time the response (or write completion) lands back at
         the requester.  Reads without a response record are disallowed —
-        the data has to go somewhere.
+        the data has to go somewhere — unless ``blocking`` is set, in which
+        case the *caller* stalls until the returned time (used by
+        ``LaneContext.dram_read_blocking`` to charge read-modify-write
+        fetches that complete within one event).
+
+        Remote accesses ride the fabric like any other traffic: each
+        direction is admitted through an injection channel at its sending
+        node (so DRAM-heavy apps can saturate injection bandwidth) and
+        then pays the knob-derived ``remote_dram_transit_cycles``.  Reads
+        send a command out and the data back; writes send the data out
+        and a completion back.  The return direction uses the node's
+        *reply* virtual channel (see :meth:`Network.dram_hop`).
         """
-        if is_read and response is None:
+        if is_read and response is None and not blocking:
             raise SimulationError("DRAM read requires a response record")
         remote = src_node != memory_node
-        t_arrive = t_issue + (
-            self.network.latency(src_node, memory_node) if remote else 0.0
-        )
+        if remote:
+            msg_bytes = self._message_bytes
+            transit = self._dram_transit
+            out_bytes = msg_bytes if is_read else msg_bytes + nbytes
+            if self._channels_recorded:
+                t_arrive = self._dram_hop(
+                    t_issue, src_node, memory_node, out_bytes, transit
+                )
+            else:
+                # Network.dram_hop inlined (request direction): two calls
+                # per remote access would dominate DRAM-heavy apps.
+                chans = self._inj_channels
+                ch = chans.get(src_node)
+                if ch is None:
+                    ch = chans[src_node] = InjectionChannel()
+                free_at = ch.free_at
+                start = t_issue if t_issue > free_at else free_at
+                departed = ch.free_at = start + out_bytes / self._inj_bw
+                ch.bytes_injected += out_bytes
+                t_arrive = departed + transit
+        else:
+            t_arrive = t_issue
         result = self.memory.access(
             t_arrive, src_node, memory_node, nbytes, local_offset=local_offset
         )
-        t_back = result.response_ready + (
-            self.network.latency(memory_node, src_node) if remote else 0.0
-        )
+        if remote:
+            back_bytes = nbytes if is_read else msg_bytes
+            if self._channels_recorded:
+                t_back = self._dram_hop(
+                    result.response_ready,
+                    memory_node,
+                    src_node,
+                    back_bytes,
+                    transit,
+                    reply=True,
+                )
+            else:
+                # Network.dram_hop inlined (reply virtual channel).
+                chans = self._reply_channels
+                ch = chans.get(memory_node)
+                if ch is None:
+                    ch = chans[memory_node] = InjectionChannel()
+                ready = result.response_ready
+                free_at = ch.free_at
+                start = ready if ready > free_at else free_at
+                departed = ch.free_at = start + back_bytes / self._inj_bw
+                ch.bytes_injected += back_bytes
+                t_back = departed + transit
+        else:
+            t_back = result.response_ready
         stats = self.stats
         if is_read:
             stats.dram_reads += 1
@@ -231,6 +331,12 @@ class Simulator:
         stats = self.stats
         host_inbox = self.host_inbox
         detailed = self.detailed_stats
+        recorder = self.recorder
+        rec_span = (
+            recorder.lane_span
+            if recorder is not None and recorder.record_lane_spans
+            else None
+        )
         events_by_label = stats.events_by_label
         final_tick = stats.final_tick
         events_executed = 0
@@ -269,6 +375,8 @@ class Simulator:
                 events_executed += 1
                 if detailed:
                     events_by_label[rec.label] += 1
+                if rec_span is not None:
+                    rec_span(nwid, start, end, rec.label)
                 if end > final_tick:
                     final_tick = end
                 processed += 1

@@ -37,6 +37,11 @@ class SimStats:
     #: harness sends).  These bypass the modeled fabric and are neither
     #: local nor remote traffic.
     messages_host_injected: int = 0
+    #: host-bound messages (results/completions addressed to HOST_NWID).
+    #: They leave the modeled machine, so like host-injected traffic they
+    #: are outside the local/remote split; together the four message
+    #: counters partition ``messages_sent`` exactly.
+    messages_host_bound: int = 0
     dram_reads: int = 0
     dram_writes: int = 0
     dram_bytes_read: int = 0
@@ -91,6 +96,7 @@ class SimStats:
             "messages_local": self.messages_local,
             "messages_remote": self.messages_remote,
             "messages_host_injected": self.messages_host_injected,
+            "messages_host_bound": self.messages_host_bound,
             "dram_reads": self.dram_reads,
             "dram_writes": self.dram_writes,
             "dram_bytes_read": self.dram_bytes_read,

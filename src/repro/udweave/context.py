@@ -294,6 +294,40 @@ class LaneContext:
             local_offset=local_offset,
         )
 
+    def dram_read_blocking(self, va: int, nwords: int) -> tuple:
+        """Read ``nwords`` ≤ 8 words at ``va``, stalling this event.
+
+        The access goes through the same split-phase cost path as
+        :meth:`send_dram_read` (DRAM stats, channel occupancy, remote
+        transit), but instead of scheduling a response event the lane
+        stalls: this event's cycle count is extended to cover the round
+        trip.  Use for read-modify-write sequences that must complete
+        atomically within one event, like the combining cache's
+        accumulate-flush; split-phase reads remain the right tool for
+        anything latency-sensitive.
+        """
+        if not (1 <= nwords <= MAX_DRAM_READ_WORDS):
+            raise UDWeaveError(
+                f"DRAM reads move 1..{MAX_DRAM_READ_WORDS} words, got {nwords}"
+            )
+        self.cycles += self.costs.send_dram_with_cont
+        gmem = self.runtime.gmem
+        mem_node, local_offset = gmem.translate(va)
+        values = gmem.read_words(va, nwords)
+        t_back = self.sim.dram_transaction(
+            None,
+            self.time,
+            src_node=self.lane.node,
+            memory_node=mem_node,
+            nbytes=nwords * 8,
+            is_read=True,
+            local_offset=local_offset,
+            blocking=True,
+        )
+        if t_back > self.start + self.cycles:
+            self.cycles = t_back - self.start
+        return values
+
     def send_dram_write(
         self,
         va: int,
@@ -348,6 +382,16 @@ class LaneContext:
         """Store to the lane-private scratchpad (1 cycle)."""
         self.cycles += self.costs.scratchpad_access
         self.lane.scratchpad[key] = value
+
+    def sp_delete(self, key: Any) -> None:
+        """Remove a key from the lane-private scratchpad (1 cycle).
+
+        Unlike ``sp_write(key, None)`` this frees the slot: drained
+        combining-cache entries must not linger as tombstones that a
+        capacity audit (or a later epoch) would still see.
+        """
+        self.cycles += self.costs.scratchpad_access
+        self.lane.scratchpad.pop(key, None)
 
     def sp_malloc(self, nwords: int) -> int:
         """Reserve scratchpad words on this lane (see spMalloc)."""

@@ -50,9 +50,13 @@ class UpDownRuntime:
         seed: int = 0,
         memory_banks_per_node: int = 1,
         detailed_stats: bool = False,
+        recorder=None,
     ) -> None:
         self.config = config
         self.program = program if program is not None else Program()
+        #: optional flight recorder (``repro.observe.FlightRecorder``);
+        #: shared with the simulator and read by KVMSR's phase hooks.
+        self.recorder = recorder
         self.sim = Simulator(
             config,
             dispatcher=self._dispatch,
@@ -60,6 +64,7 @@ class UpDownRuntime:
             seed=seed,
             memory_banks_per_node=memory_banks_per_node,
             detailed_stats=detailed_stats,
+            recorder=recorder,
         )
         self.gmem = GlobalMemory(config)
         self.spalloc = SpAllocator(sp_capacity_words)

@@ -97,6 +97,24 @@ class TestSweepAnalysis:
         with pytest.raises(ValueError):
             shape_agreement({1: 1.0}, {1: 1.0})
 
+    def test_ranks_average_ties(self):
+        from repro.harness.sweep import _ranks
+
+        # the two 5.0s span rank positions 1 and 2 -> both get 1.5
+        assert _ranks([5.0, 1.0, 5.0]) == [1.5, 0.0, 1.5]
+        assert _ranks([2.0, 2.0, 2.0]) == [1.0, 1.0, 1.0]
+
+    def test_shape_agreement_with_ties(self):
+        """Tied speedups (a saturated plateau) must not be ranked as if
+        one of them were faster than the other."""
+        measured = {1: 1.0, 2: 2.0, 4: 2.0, 8: 3.0}
+        reported = {1: 1.0, 2: 2.0, 4: 2.1, 8: 3.0}
+        # average ranks put both tied points at 1.5 vs 1 and 2:
+        # d^2 = 2 * 0.25, rho = 1 - 6*0.5/(4*15)
+        assert shape_agreement(measured, reported) == pytest.approx(0.95)
+        # a tie against the same tie is perfect agreement
+        assert shape_agreement(measured, measured) == pytest.approx(1.0)
+
     def test_sweep_runs_each_config(self, rmat_s6):
         rs = sweep(run_pagerank, (1, 2), graph=rmat_s6, max_degree=16)
         assert [r.nodes for r in rs] == [1, 2]

@@ -78,6 +78,55 @@ class TestCacheOps:
         assert reg[2] == 5.0  # overwrote the 1.0
         assert reg[3] == 6.0  # added to the 1.0
 
+    def test_flush_leaves_no_tombstones(self):
+        """Drained slots must be freed, not overwritten with ``None`` —
+        a tombstone keeps occupying scratchpad across epochs."""
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        cache = CombiningCache("t")
+        leftovers = []
+
+        def body(ctx):
+            cache.add(ctx, "a", 1)
+            cache.add(ctx, "b", 2)
+            cache.flush(ctx, lambda c, k, v: None)
+            leftovers.extend(
+                k for k in ctx.lane.scratchpad
+                if isinstance(k, tuple) and k[:2] == ("cc", "t")
+            )
+
+        run_driver(rt, body)
+        assert leftovers == []
+
+    def test_accumulate_flush_charges_dram_read(self):
+        """``accumulate=True`` fetches the stored value from DRAM; that
+        read must hit the modeled memory system, not a free host peek."""
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        reg = rt.dram_malloc(8 * 4, dtype=np.float64, name="out")
+        cache = CombiningCache("t")
+
+        def body(ctx):
+            cache.add(ctx, 0, 1.0)
+            cache.add(ctx, 1, 2.0)
+            before = ctx.runtime.sim.stats.dram_reads
+            cache.flush_to_region(ctx, reg, accumulate=True)
+            body.reads = ctx.runtime.sim.stats.dram_reads - before
+
+        run_driver(rt, body)
+        assert body.reads == 2
+
+    def test_store_flush_reads_nothing(self):
+        rt = UpDownRuntime(bench_machine(nodes=1))
+        reg = rt.dram_malloc(8 * 4, dtype=np.float64, name="out")
+        cache = CombiningCache("t")
+
+        def body(ctx):
+            cache.add(ctx, 0, 1.0)
+            cache.flush_to_region(ctx, reg)  # store semantics
+            body.reads = ctx.runtime.sim.stats.dram_reads
+
+        run_driver(rt, body)
+        assert body.reads == 0
+
     def test_hit_cheaper_than_miss(self):
         rt = UpDownRuntime(bench_machine(nodes=1))
         cache = CombiningCache("t")

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.apps",
     "repro.baselines",
     "repro.harness",
+    "repro.observe",
     "repro.workflows",
     "repro.tools",
 ]
