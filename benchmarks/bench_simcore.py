@@ -17,16 +17,24 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_simcore.py --label after
     PYTHONPATH=src python benchmarks/bench_simcore.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_simcore.py \
+        --label shards4 --shards 4 --parallel   # conservative parallel mode
 
 Determinism: each workload also records ``final_tick`` and
 ``events_executed``; those must be bit-identical across labels — a
 throughput win that changes the simulated result is a bug, not a win.
+The same holds across ``--shards`` values: conservative sharding is
+bit-exact, so a shards entry whose fingerprint differs from the
+sequential entry is a correctness failure, not a performance data point.
+Each entry records ``cpu_count`` — parallel speedups are only meaningful
+when the host actually has cores to run the shard workers on.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -49,7 +57,7 @@ QUICK_WORKLOADS = (
 GRAPH_SEED = 7
 
 
-def _build(name: str, scale: int, nodes: int):
+def _build(name: str, scale: int, nodes: int, shards: int, parallel: bool):
     """Fresh (runtime, app, run_kwargs) — setup cost excluded from timing."""
     from repro.apps.bfs import BFSApp
     from repro.apps.pagerank import PageRankApp
@@ -59,7 +67,7 @@ def _build(name: str, scale: int, nodes: int):
     from repro.udweave import UpDownRuntime
 
     graph = rmat(scale, seed=GRAPH_SEED)
-    rt = UpDownRuntime(bench_config(nodes))
+    rt = UpDownRuntime(bench_config(nodes), shards=shards, parallel=parallel)
     if name == "pagerank":
         app = PageRankApp(rt, graph, block_size=BENCH_BLOCK_SIZE)
     elif name == "bfs":
@@ -71,14 +79,25 @@ def _build(name: str, scale: int, nodes: int):
     return rt, app
 
 
-def run_workload(name: str, scale: int, nodes: int, kwargs, repeats: int):
+def run_workload(
+    name: str,
+    scale: int,
+    nodes: int,
+    kwargs,
+    repeats: int,
+    shards: int = 1,
+    parallel: bool = False,
+):
     """Best-of-``repeats`` events/sec for one workload; returns a dict."""
     best = None
     fingerprint = None
     for _ in range(repeats):
-        rt, app = _build(name, scale, nodes)
+        rt, app = _build(name, scale, nodes, shards, parallel)
         t0 = time.perf_counter()
-        res = app.run(**kwargs)
+        try:
+            res = app.run(**kwargs)
+        finally:
+            rt.shutdown()
         seconds = time.perf_counter() - t0
         stats = res.stats
         fp = (stats.final_tick, stats.events_executed, stats.messages_sent)
@@ -118,20 +137,44 @@ def main(argv=None) -> int:
         help="small workloads for CI smoke runs",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="conservative DES shards (1 = sequential drain)",
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run shards in forked worker processes (requires --shards > 1)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path"
     )
     args = parser.parse_args(argv)
 
+    if args.parallel and args.shards < 2:
+        parser.error("--parallel requires --shards of at least 2")
     workloads = QUICK_WORKLOADS if args.quick else FULL_WORKLOADS
     entry = {
         "python": platform.python_version(),
         "quick": args.quick,
+        "shards": args.shards,
+        "parallel": args.parallel,
+        "cpu_count": os.cpu_count(),
         "workloads": {},
     }
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
     for name, scale, nodes, kwargs in workloads:
-        result = run_workload(name, scale, nodes, kwargs, args.repeats)
+        result = run_workload(
+            name,
+            scale,
+            nodes,
+            kwargs,
+            args.repeats,
+            shards=args.shards,
+            parallel=args.parallel,
+        )
         entry["workloads"][name] = result
         print(
             f"{name:10} scale={scale} nodes={nodes}: "

@@ -60,6 +60,7 @@ class BFSWorker(UDThread):
     def __init__(self) -> None:
         self.job_id = -1
         self.report = None
+        self.round = 0
         self.emitted = 0
         self.chunks_left = 0
         self.vertices_left = 0
@@ -67,10 +68,10 @@ class BFSWorker(UDThread):
         self._next_vkey = 0
 
     @event
-    def start(self, ctx, job_id, report_evw):
-        self.job_id, self.report = job_id, report_evw
+    def start(self, ctx, job_id, round_no, report_evw):
+        self.job_id, self.round, self.report = job_id, round_no, report_evw
         app = job_of(ctx, job_id).payload
-        parity = app.round & 1
+        parity = round_no & 1
         count = ctx.sp_read(("bfsc", app.uid, parity), 0)
         ctx.sp_write(("bfsc", app.uid, parity), 0)  # consumed
         if count == 0:
@@ -122,7 +123,7 @@ class BFSWorker(UDThread):
     def got_neighbors(self, ctx, key, *neighbors):
         app = job_of(ctx, self.job_id).payload
         state = self.vstate[key]
-        depth = app.round + 1
+        depth = self.round + 1
         for u in neighbors:
             emit_to_reduce(ctx, self.job_id, u, state[0], depth)
             self.emitted += 1
@@ -152,11 +153,20 @@ class BFSAccelMaster(MapTask):
 
     def kv_map(self, ctx, accel):
         cfg = ctx.config
+        app = job_of(ctx, self._job_id).payload
+        # Round number lives in the master lane's scratchpad, not in the
+        # shared app object: each launch is one round, and in-simulation
+        # state is what conservative sharding replicates correctly.
+        round_key = ("bfsr", app.uid)
+        round_no = ctx.sp_read(round_key, 0)
+        ctx.sp_write(round_key, round_no + 1)
         first = ctx.config.first_lane_of_accel(accel)
         self.pending = cfg.lanes_per_accel
         report = ctx.self_evw("worker_done")
         for lane in range(first, first + cfg.lanes_per_accel):
-            ctx.spawn(lane, "BFSWorker::start", self._job_id, report)
+            ctx.spawn(
+                lane, "BFSWorker::start", self._job_id, round_no, report
+            )
             ctx.work(2)
         ctx.yield_()
 
@@ -176,10 +186,12 @@ class BFSReduce(ReduceTask):
     def __init__(self) -> None:
         super().__init__()
         self.u = -1
+        self.depth = 0
         self.subs_left = 0
 
     def kv_reduce(self, ctx, u, parent, depth):
         app = self.job(ctx).payload
+        self.depth = depth
         if ctx.sp_read(("bfss", app.uid, u)) is not None:
             ctx.work(1)
             self.kv_reduce_return(ctx)
@@ -207,7 +219,8 @@ class BFSReduce(ReduceTask):
     @event
     def got_subs(self, ctx, *subs):
         app = self.job(ctx).payload
-        parity = (app.round + 1) & 1
+        # the next frontier's parity: depth == round + 1 already names it
+        parity = self.depth & 1
         count_key = ("bfsc", app.uid, parity)
         count = ctx.sp_read(count_key, 0)
         region = app.frontier_regions[parity]

@@ -65,13 +65,20 @@ class RunRecord:
 
 
 def _bench_runtime(
-    nodes: int, detailed_stats: bool, record, machine_overrides
+    nodes: int,
+    detailed_stats: bool,
+    record,
+    machine_overrides,
+    shards: int = 1,
+    parallel: bool = False,
 ) -> UpDownRuntime:
     """A fresh recorded-or-not benchmark runtime (shared by all runners)."""
     return UpDownRuntime(
         bench_config(nodes, **machine_overrides),
         detailed_stats=detailed_stats,
         recorder=make_recorder(record),
+        shards=shards,
+        parallel=parallel,
     )
 
 
@@ -90,15 +97,22 @@ def run_pagerank(
     max_events: int = DEFAULT_MAX_EVENTS,
     detailed_stats: bool = False,
     record=None,
+    shards: int = 1,
+    parallel: bool = False,
     **machine_overrides,
 ) -> RunRecord:
     """One PageRank run on a fresh scaled machine; returns its RunRecord."""
-    rt = _bench_runtime(nodes, detailed_stats, record, machine_overrides)
+    rt = _bench_runtime(
+        nodes, detailed_stats, record, machine_overrides, shards, parallel
+    )
     app = PageRankApp(
         rt, graph, max_degree=max_degree, mem_nodes=mem_nodes,
         block_size=BENCH_BLOCK_SIZE,
     )
-    res = app.run(iterations=iterations, max_events=max_events)
+    try:
+        res = app.run(iterations=iterations, max_events=max_events)
+    finally:
+        rt.shutdown()
     return RunRecord(
         nodes=nodes,
         seconds=res.elapsed_seconds,
@@ -119,10 +133,14 @@ def run_bfs(
     max_events: int = DEFAULT_MAX_EVENTS,
     detailed_stats: bool = False,
     record=None,
+    shards: int = 1,
+    parallel: bool = False,
     **machine_overrides,
 ) -> RunRecord:
     """One BFS run on a fresh scaled machine; returns its RunRecord."""
-    rt = _bench_runtime(nodes, detailed_stats, record, machine_overrides)
+    rt = _bench_runtime(
+        nodes, detailed_stats, record, machine_overrides, shards, parallel
+    )
     app = BFSApp(
         rt,
         graph,
@@ -131,7 +149,10 @@ def run_bfs(
         frontier_mem_nodes=frontier_mem_nodes,
         block_size=BENCH_BLOCK_SIZE,
     )
-    res = app.run(root=root, max_events=max_events)
+    try:
+        res = app.run(root=root, max_events=max_events)
+    finally:
+        rt.shutdown()
     return RunRecord(
         nodes=nodes,
         seconds=res.elapsed_seconds,
@@ -155,14 +176,21 @@ def run_triangle_count(
     max_events: int = DEFAULT_MAX_EVENTS,
     detailed_stats: bool = False,
     record=None,
+    shards: int = 1,
+    parallel: bool = False,
     **machine_overrides,
 ) -> RunRecord:
     """One TC run on a fresh scaled machine; returns its RunRecord."""
-    rt = _bench_runtime(nodes, detailed_stats, record, machine_overrides)
+    rt = _bench_runtime(
+        nodes, detailed_stats, record, machine_overrides, shards, parallel
+    )
     app = TriangleCountApp(
         rt, graph, pbmw=pbmw, mem_nodes=mem_nodes, block_size=BENCH_BLOCK_SIZE
     )
-    res = app.run(max_events=max_events)
+    try:
+        res = app.run(max_events=max_events)
+    finally:
+        rt.shutdown()
     return RunRecord(
         nodes=nodes,
         seconds=res.elapsed_seconds,
@@ -180,12 +208,19 @@ def run_ingestion(
     max_events: int = DEFAULT_MAX_EVENTS,
     detailed_stats: bool = False,
     record=None,
+    shards: int = 1,
+    parallel: bool = False,
     **machine_overrides,
 ) -> RunRecord:
     """One ingestion run on a fresh scaled machine; returns its RunRecord."""
-    rt = _bench_runtime(nodes, detailed_stats, record, machine_overrides)
+    rt = _bench_runtime(
+        nodes, detailed_stats, record, machine_overrides, shards, parallel
+    )
     app = IngestionApp(rt, records, block_words=block_words)
-    res = app.run(max_events=max_events)
+    try:
+        res = app.run(max_events=max_events)
+    finally:
+        rt.shutdown()
     return RunRecord(
         nodes=nodes,
         seconds=res.elapsed_seconds,
@@ -202,12 +237,21 @@ def run_partial_match(
     max_events: int = DEFAULT_MAX_EVENTS,
     detailed_stats: bool = False,
     record=None,
+    shards: int = 1,
+    parallel: bool = False,
     **machine_overrides,
 ) -> RunRecord:
     """One partial-match stream on a fresh scaled machine (latency metric)."""
-    rt = _bench_runtime(nodes, detailed_stats, record, machine_overrides)
+    rt = _bench_runtime(
+        nodes, detailed_stats, record, machine_overrides, shards, parallel
+    )
     app = PartialMatchApp(rt, patterns)
-    res = app.run_stream(records, gap_cycles=gap_cycles, max_events=max_events)
+    try:
+        res = app.run_stream(
+            records, gap_cycles=gap_cycles, max_events=max_events
+        )
+    finally:
+        rt.shutdown()
     return RunRecord(
         nodes=nodes,
         seconds=res.mean_latency_seconds,

@@ -175,6 +175,28 @@ class MachineConfig:
             / 2.0
         )
 
+    @property
+    def conservative_lookahead_cycles(self) -> float:
+        """Safe epoch window for conservative parallel execution.
+
+        No interaction between two *different* nodes can take effect
+        sooner than this many cycles after it is issued: cross-node
+        messages pay ``remote_msg_latency_cycles`` of base latency
+        (injection queueing only adds to that), and each direction of a
+        remote split-phase DRAM access pays
+        ``remote_dram_transit_cycles`` of fabric transit.  Intra-node
+        traffic never crosses a shard boundary (shards partition whole
+        nodes), so the minimum of the two cross-node constants bounds how
+        far apart shards can drift while still seeing every inbound
+        boundary event in time — the classic conservative-lookahead
+        argument.  Zero (``remote_dram_latency_ratio == 1``) means the
+        machine cannot be sharded.
+        """
+        return min(
+            float(self.remote_msg_latency_cycles),
+            self.remote_dram_transit_cycles,
+        )
+
     def scaled(self, nodes: int) -> "MachineConfig":
         """A copy of this configuration with a different node count.
 

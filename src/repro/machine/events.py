@@ -1,10 +1,17 @@
 """Simulation event records.
 
-The simulator's heap holds plain ``(time, seq, record)`` tuples — tuple
-comparison on ``(time, seq)`` is the fastest total order CPython offers,
-and the heap sees one comparison per sift step on every one of the
-millions of events a run executes.  :class:`SimEvent` remains as a named
-view for code that wants field access over positional unpacking.
+The simulator's heap holds plain ``(time, dest, seq, record)`` tuples —
+tuple comparison is the fastest total order CPython offers, and the heap
+sees one comparison per sift step on every one of the millions of events a
+run executes.  ``dest`` is the destination networkID (so ties at one
+timestamp resolve by destination before sequence — the order is then
+independent of how a sharded run partitions the machine), and ``seq``
+packs the *issuing actor* and its private event count
+(``(actor << 44) | count``): every push carries a globally unique key
+assigned entirely at the point of issue, which is what lets a conservative
+parallel run merge shard outputs into exactly the sequential order.
+:class:`SimEvent` remains as a named view for code that wants field access
+over positional unpacking.
 
 A :class:`MessageRecord` describes one UpDown event message: the target
 (networkID, thread selector, event label), the operands, and an optional
@@ -86,6 +93,24 @@ class MessageRecord:
         self.kind = kind
         self.label_id = label_id
 
+    def __reduce__(self):
+        # Boundary batches between shard workers pickle one record per
+        # cross-shard event; the constructor-call form is ~3x faster than
+        # the generic __slots__ state protocol.
+        return (
+            MessageRecord,
+            (
+                self.network_id,
+                self.thread,
+                self.label,
+                self.operands,
+                self.continuation,
+                self.src_network_id,
+                self.kind,
+                self.label_id,
+            ),
+        )
+
     def _key(self) -> Tuple[Any, ...]:
         return (
             self.network_id,
@@ -113,27 +138,102 @@ class MessageRecord:
         )
 
 
-class SimEvent:
-    """Named view over a ``(time, seq, record)`` heap tuple.
+class DramArrival:
+    """A remote split-phase DRAM request in flight to its memory node.
 
-    The simulator's heap stores raw tuples (deterministic ``(time, seq)``
-    ordering; ``seq`` is unique so the record is never compared).  This
-    wrapper exists for API compatibility and debugging — construct one
-    from a heap tuple with ``SimEvent(*entry)``.
+    ``network_id`` is a *virtual* destination — ``total_lanes +
+    memory_node`` — which the drain loop recognizes (it is outside the
+    lane range) and services by running the memory-channel access and the
+    reply hop *at the memory node, in arrival order*.  Keeping all
+    mutations of a node's DRAM and reply channels at the owning node is
+    what makes the memory system shardable: a requester only touches its
+    own injection channel at issue time.
+
+    The functional payload is not carried here: data words are read and
+    written when the request *issues* (see ``repro.udweave.context``);
+    only the timing flows through this record.
     """
 
-    __slots__ = ("time", "seq", "record")
+    __slots__ = (
+        "network_id",
+        "response",
+        "src_node",
+        "memory_node",
+        "nbytes",
+        "local_offset",
+        "back_bytes",
+    )
 
-    def __init__(self, time: float, seq: int, record: MessageRecord) -> None:
+    def __init__(
+        self,
+        network_id: int,
+        response: Optional[MessageRecord],
+        src_node: int,
+        memory_node: int,
+        nbytes: int,
+        local_offset: int,
+        back_bytes: int,
+    ) -> None:
+        self.network_id = network_id
+        self.response = response
+        self.src_node = src_node
+        self.memory_node = memory_node
+        self.nbytes = nbytes
+        self.local_offset = local_offset
+        #: wire bytes of the return direction (data for reads, a
+        #: completion message for writes), fixed at issue time.
+        self.back_bytes = back_bytes
+
+    def __reduce__(self):
+        # fast pickling for cross-shard boundary batches
+        return (
+            DramArrival,
+            (
+                self.network_id,
+                self.response,
+                self.src_node,
+                self.memory_node,
+                self.nbytes,
+                self.local_offset,
+                self.back_bytes,
+            ),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DramArrival(memory_node={self.memory_node}, "
+            f"src_node={self.src_node}, nbytes={self.nbytes})"
+        )
+
+
+class SimEvent:
+    """Named view over a ``(time, dest, seq, record)`` heap tuple.
+
+    The simulator's heap stores raw tuples (deterministic
+    ``(time, dest, seq)`` ordering; ``seq`` is unique so the record is
+    never compared).  This wrapper exists for API compatibility and
+    debugging — construct one from a heap tuple with ``SimEvent(*entry)``.
+    """
+
+    __slots__ = ("time", "dest", "seq", "record")
+
+    def __init__(
+        self, time: float, dest: int, seq: int, record: MessageRecord
+    ) -> None:
         self.time = time
+        self.dest = dest
         self.seq = seq
         self.record = record
 
-    def astuple(self) -> Tuple[float, int, MessageRecord]:
-        return (self.time, self.seq, self.record)
+    def astuple(self) -> Tuple[float, int, int, MessageRecord]:
+        return (self.time, self.dest, self.seq, self.record)
 
     def __lt__(self, other: "SimEvent") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return (self.time, self.dest, self.seq) < (
+            other.time,
+            other.dest,
+            other.seq,
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SimEvent):
@@ -141,4 +241,7 @@ class SimEvent:
         return self.astuple() == other.astuple()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SimEvent(time={self.time}, seq={self.seq}, record={self.record!r})"
+        return (
+            f"SimEvent(time={self.time}, dest={self.dest}, "
+            f"seq={self.seq}, record={self.record!r})"
+        )

@@ -1,0 +1,620 @@
+"""Conservative epoch-windowed parallel execution of the sharded DES.
+
+The authors' Fastsim is a parallel C++/OpenMP simulator; this module is
+the equivalent capability for the Python DES.  The machine's nodes are
+partitioned into contiguous shards, each owning a per-shard event heap
+plus the lanes, DRAM channel, and injection/reply channels of its nodes.
+An epoch driver repeatedly:
+
+1. finds the global next-event time ``T`` (the min over shard heaps);
+2. advances every shard independently through the window
+   ``[T, T + lookahead)``;
+3. exchanges the boundary events each shard issued for the others, then
+   repeats.
+
+``lookahead`` is :attr:`MachineConfig.conservative_lookahead_cycles` —
+the minimum number of cycles any cross-node interaction needs to take
+effect (cross-node message base latency, or one remote-DRAM fabric
+transit).  Because every event a shard executes inside the window can
+only schedule work on *other* shards at ``>= T + lookahead``, no shard
+can miss an inbound event by running ahead within the window: the
+classic conservative (lookahead-based) synchronization argument, the
+same barrier-synchronized discipline GraphLab's engines use.
+
+Determinism — the hard requirement — comes from the heap key: every
+scheduled event carries ``(time, dest, seq)`` where ``seq`` is assigned
+by the *issuing* actor from its private counter (see
+``repro.machine.events``).  Each actor (host, lane, or node) executes on
+exactly one shard, so the keys a sharded run assigns are byte-for-byte
+the keys the sequential run assigns, and each shard pops exactly the
+sequential event sequence restricted to its nodes.  Combined with strict
+node-ownership of all cost-model state (channels, memory, lanes) and the
+window-barrier exchange of everything that crosses shards, every counter,
+timestamp, and mailbox entry is bit-identical to the sequential drain.
+
+Two modes share the same windowing and merge order:
+
+* :class:`ShardScheduler` — in-process (``shards=N``): one simulator,
+  per-shard heaps, windows executed round-robin under the GIL.  No
+  speedup (it exists for tests, debugging, and as the reference the
+  parity suite checks the parallel mode against), but the full sharding
+  semantics.
+* :class:`ParallelExecutor` — multiprocessing (``parallel=True``): one
+  forked worker per shard, inheriting the full runtime state copy-on-
+  write.  The parent becomes a hub: it computes windows, relays pickled
+  boundary batches between workers (as opaque blobs — pickled once at
+  the source, unpickled once at the target), replicates functional-
+  memory write logs so every process' ``GlobalMemory`` stays current,
+  and merges per-drain statistics, host mailbox, logs, channel states,
+  and flight-recorder telemetry back into the parent objects at the end
+  of each drain.
+
+Worker processes are daemonic and persist across drains (lane, thread,
+and scratchpad state lives in them between ``run()`` calls).  Host-side
+mutations after the first parallel drain are limited to new injections —
+those are forwarded.  Everything else the host does between drains is
+invisible to the forked workers: direct writes into memory regions or
+lane scratchpads, and registrations of thread classes, KVMSR jobs, or
+host mailbox labels.  Registrations are *detected* (via the runtime's
+setup token) and rejected with a clear error; multi-phase applications
+that set up between runs should use in-process sharding (``shards=N``),
+which shares everything and needs no replication.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import multiprocessing
+import os
+import pickle
+import traceback
+from typing import Any, Dict, List, Optional
+
+from .simulator import SimulationError
+
+
+def _dumps(obj: Any) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def make_scheduler(sim):
+    """The shard scheduler matching ``sim``'s configuration."""
+    if sim.parallel:
+        return ParallelExecutor(sim)
+    return ShardScheduler(sim)
+
+
+class _ShardRouter:
+    """Topology arithmetic shared by both execution modes."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.shards: int = sim.shards
+        cfg = sim.config
+        self.lookahead: float = cfg.conservative_lookahead_cycles
+        self.total_lanes: int = cfg.total_lanes
+        self.lanes_per_node: int = cfg.lanes_per_node
+        self.shard_of_node: List[int] = sim._shard_of_node
+        #: nodes owned by each shard (contiguous blocks).
+        self.shard_nodes: List[List[int]] = [
+            [] for _ in range(self.shards)
+        ]
+        for node, shard in enumerate(self.shard_of_node):
+            self.shard_nodes[shard].append(node)
+
+    def shard_of_entry(self, entry) -> int:
+        """Owning shard of a heap entry (lane delivery or DRAM arrival)."""
+        dest = entry[1]
+        if dest >= self.total_lanes:
+            node = dest - self.total_lanes
+        else:
+            node = dest // self.lanes_per_node
+        return self.shard_of_node[node]
+
+    def _flush_host(self) -> None:
+        """Deliver collected host-bound entries in sequential order.
+
+        The host mailbox has no feedback into the simulation, so host
+        deliveries are buffered during windows and appended at drain end,
+        sorted by the same ``(time, seq)`` key the sequential pop loop
+        orders them by — the resulting inbox is bit-identical.
+        """
+        entries = self._host_entries
+        if not entries:
+            return
+        entries.sort(key=lambda e: (e[0], e[2]))
+        sim = self.sim
+        inbox = sim.host_inbox
+        stats = sim.stats
+        final_tick = stats.final_tick
+        for entry in entries:
+            t = entry[0]
+            inbox.append((t, entry[3]))
+            if t > final_tick:
+                final_tick = t
+        stats.final_tick = final_tick
+        entries.clear()
+
+
+class ShardScheduler(_ShardRouter):
+    """In-process conservative epoch driver (``shards=N, parallel=False``).
+
+    Hooks ``Simulator._route`` so every push lands in the owning shard's
+    heap (host-bound entries are buffered — the host is outside the
+    machine), then drains the shards window by window by swapping
+    ``sim._heap``.  Cross-shard pushes go straight into the target heap:
+    conservative lookahead guarantees they land at or beyond the window
+    end, so the target shard — whether it ran already this window or not
+    — cannot see them early.
+    """
+
+    def __init__(self, sim) -> None:
+        super().__init__(sim)
+        self.heaps: List[list] = [[] for _ in range(self.shards)]
+        self._host_entries: List[tuple] = []
+        sim._route = self._route
+        # adopt anything injected before the first drain
+        pending, sim._heap = sim._heap, []
+        for entry in pending:
+            self._route(entry)
+
+    def _route(self, entry) -> None:
+        if entry[1] < 0:
+            self._host_entries.append(entry)
+            return
+        heapq.heappush(self.heaps[self.shard_of_entry(entry)], entry)
+
+    def drain(self, max_events: Optional[int]):
+        sim = self.sim
+        heaps = self.heaps
+        lookahead = self.lookahead
+        stats = sim.stats
+        budget = max_events
+        while True:
+            t_next = math.inf
+            for heap in heaps:
+                if heap and heap[0][0] < t_next:
+                    t_next = heap[0][0]
+            if t_next == math.inf:
+                break
+            until = t_next + lookahead
+            for shard in range(self.shards):
+                heap = heaps[shard]
+                if not heap or heap[0][0] >= until:
+                    continue
+                sim._heap = heap
+                before = stats.events_executed
+                try:
+                    sim._drain(budget, until)
+                finally:
+                    sim._heap = []
+                if budget is not None:
+                    budget -= stats.events_executed - before
+        self._flush_host()
+        return stats
+
+    def close(self) -> None:
+        """Nothing to release in-process."""
+
+
+class ParallelExecutor(_ShardRouter):
+    """Forked worker pool running one shard per process.
+
+    The parent never executes events after the fork: it is the window
+    coordinator and boundary-message hub.  Per window, the protocol is
+
+    * ``run(until, budget)`` → each worker drains its heap to ``until``
+      and replies with its outbound boundary batches (one pre-pickled
+      blob per target shard), host-bound entries, functional-memory
+      write log, and executed-event count;
+    * ``in(batches, write_logs)`` → the parent concatenates the blobs by
+      target and relays them; workers apply foreign write logs (in shard
+      index order) and push the inbound entries, replying with their next
+      event time — which gives the parent the next window's ``T``.
+
+    At drain end (all heaps empty, nothing in flight) each worker ships
+    its per-drain state deltas; the parent merges them into the parent
+    ``SimStats`` / recorder / logs so callers see exactly what a
+    sequential run would have produced.
+    """
+
+    def __init__(self, sim) -> None:
+        super().__init__(sim)
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise SimulationError(
+                "parallel=True requires the fork start method (POSIX); "
+                "use shards with parallel=False on this platform"
+            )
+        self._procs: Optional[list] = None
+        self._conns: Optional[list] = None
+        self._host_entries: List[tuple] = []
+        self._recorder_base: Optional[Dict[str, Any]] = None
+        self._fork_token = None
+        self._broken = False
+
+    # ------------------------------------------------------------------
+    # Parent side
+    # ------------------------------------------------------------------
+
+    def drain(self, max_events: Optional[int]):
+        sim = self.sim
+        if self._broken:
+            raise SimulationError(
+                "parallel executor is no longer usable (a worker failed "
+                "or the pool was shut down); build a fresh runtime"
+            )
+        if self._procs is None:
+            self._fork()
+        elif (
+            sim._setup_token is not None
+            and sim._setup_token() != self._fork_token
+        ):
+            self._abort()
+            raise SimulationError(
+                "host-side program setup changed after the parallel "
+                "workers forked (thread classes, KVMSR jobs, or host "
+                "mailbox labels registered between run() calls); forked "
+                "workers cannot observe host-process registrations. "
+                "Complete all setup before the first run(), or use "
+                "in-process sharding (shards=N, parallel=False) for "
+                "multi-phase applications that set up between runs."
+            )
+        conns = self._conns
+        # forward injections buffered in the parent since the last drain
+        pending, sim._heap = sim._heap, []
+        seeds: List[list] = [[] for _ in range(self.shards)]
+        for entry in pending:
+            if entry[1] < 0:
+                self._host_entries.append(entry)
+            else:
+                seeds[self.shard_of_entry(entry)].append(entry)
+        for shard, conn in enumerate(conns):
+            batch = seeds[shard]
+            conn.send(("seed", _dumps(batch) if batch else None))
+        next_ts = [self._recv(conn, "next")[1] for conn in conns]
+        budget = max_events
+        lookahead = self.lookahead
+        while True:
+            t_next = min(
+                (t for t in next_ts if t is not None), default=None
+            )
+            if t_next is None:
+                break
+            until = t_next + lookahead
+            for conn in conns:
+                conn.send(("run", until, budget))
+            outs = [self._recv(conn, "out") for conn in conns]
+            if budget is not None:
+                budget -= sum(out[4] for out in outs)
+                if budget <= 0:
+                    self._abort()
+                    raise SimulationError(
+                        f"simulation exceeded max_events={max_events}"
+                    )
+            in_blobs: List[List[bytes]] = [[] for _ in range(self.shards)]
+            wlog_blobs: List[tuple] = []
+            for shard, out in enumerate(outs):
+                _tag, out_list, host_blob, wlog_blob, _executed = out
+                for target, blob in enumerate(out_list):
+                    if blob is not None:
+                        in_blobs[target].append(blob)
+                if host_blob is not None:
+                    self._host_entries.extend(pickle.loads(host_blob))
+                if wlog_blob is not None:
+                    wlog_blobs.append((shard, wlog_blob))
+            gmem = sim.funcmem
+            if gmem is not None:
+                # keep the parent's functional memory current — hosts
+                # read result regions directly after run()
+                for _shard, blob in wlog_blobs:
+                    for va, values in pickle.loads(blob):
+                        gmem.write_words(va, values)
+            for shard, conn in enumerate(conns):
+                conn.send((
+                    "in",
+                    in_blobs[shard],
+                    [blob for s, blob in wlog_blobs if s != shard],
+                ))
+            next_ts = [self._recv(conn, "next")[1] for conn in conns]
+        for conn in conns:
+            conn.send(("drain_end",))
+        finals = [self._recv(conn, "final")[1] for conn in conns]
+        self._merge(finals)
+        return sim.stats
+
+    def _recv(self, conn, expected: str):
+        try:
+            msg = conn.recv()
+        except EOFError:
+            self._abort()
+            raise SimulationError("shard worker died unexpectedly") from None
+        if msg[0] == "error":
+            failure = msg[1]
+            self._abort()
+            raise SimulationError(f"shard worker failed:\n{failure}")
+        if msg[0] != expected:
+            self._abort()
+            raise SimulationError(
+                f"protocol error: expected {expected!r}, got {msg[0]!r}"
+            )
+        return msg
+
+    def _fork(self) -> None:
+        sim = self.sim
+        if sim.dispatcher is None:
+            raise SimulationError("no dispatcher installed")
+        if sim.recorder is not None:
+            self._recorder_base = sim.recorder.export_state()
+        if sim._setup_token is not None:
+            self._fork_token = sim._setup_token()
+        ctx = multiprocessing.get_context("fork")
+        self._conns = []
+        self._procs = []
+        for shard in range(self.shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=self._worker_main,
+                args=(shard, child_conn),
+                daemon=True,
+                name=f"des-shard-{shard}",
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    def _merge(self, finals: List[Dict[str, Any]]) -> None:
+        """Fold per-drain worker state into the parent's objects."""
+        sim = self.sim
+        stats = sim.stats
+        for final in finals:
+            stats.absorb_delta(final["stats"])
+            stats.busy_cycles_by_lane.update(final["busy"])
+            labels = final["labels"]
+            if labels:
+                by_label = stats.events_by_label
+                for label, count in labels.items():
+                    by_label[label] += count
+            sim.network.apply_channels(final["channels"])
+            sim.memory.apply_channels(final["mem"])
+        hostlog = sim.hostlog
+        if hostlog is not None:
+            fresh = [e for final in finals for e in final["udlog"]]
+            if fresh:
+                hostlog.entries.extend(fresh)
+                hostlog.entries.sort(
+                    key=lambda e: (e.tick, e.network_id, e.thread_id)
+                )
+        if sim.trace_enabled:
+            fresh = [t for final in finals for t in final["trace"]]
+            if fresh:
+                sim.trace.extend(fresh)
+                sim.trace.sort(
+                    key=lambda t: (
+                        t[0], t[1], -1 if t[2] is None else t[2], t[3], t[4]
+                    )
+                )
+        recorder = sim.recorder
+        if recorder is not None:
+            recorder.restore_state(self._recorder_base)
+            for final in finals:
+                part = final["recorder"]
+                if part is not None:
+                    recorder.merge_from(part)
+            recorder.sort_timelines()
+        self._flush_host()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent).
+
+        After the pool held simulation state, the executor cannot be
+        reused — lane/thread state lived in the dead workers.
+        """
+        procs, self._procs = self._procs, None
+        conns, self._conns = self._conns, None
+        if not procs:
+            return
+        self._broken = True
+        for conn in conns:
+            try:
+                conn.send(("exit",))
+            except Exception:
+                pass
+        for proc in procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    def _abort(self) -> None:
+        self._broken = True
+        procs, self._procs = self._procs, None
+        conns, self._conns = self._conns, None
+        if not procs:
+            return
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5)
+        for conn in conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # Worker side (runs in the forked child)
+    # ------------------------------------------------------------------
+
+    def _worker_main(self, shard: int, conn) -> None:
+        status = 0
+        try:
+            self._worker_loop(shard, conn)
+        except BaseException:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except Exception:
+                pass
+            status = 1
+        finally:
+            try:
+                conn.close()
+            except Exception:
+                pass
+            # skip atexit/teardown inherited from the parent process
+            os._exit(status)
+
+    def _worker_loop(self, shard: int, conn) -> None:
+        sim = self.sim
+        shards = self.shards
+        sim._scheduler = None  # this process is a plain windowed drainer
+        sim._heap = heap = []
+        heappush = heapq.heappush
+        outbox: List[list] = [[] for _ in range(shards)]
+        host_out: List[tuple] = []
+        shard_of_entry = self.shard_of_entry
+
+        def route(entry) -> None:
+            dest = entry[1]
+            if dest < 0:
+                host_out.append(entry)
+                return
+            target = shard_of_entry(entry)
+            if target == shard:
+                heappush(heap, entry)
+            else:
+                outbox[target].append(entry)
+
+        sim._route = route
+        # log functional-memory writes for cross-process replication
+        wlog: List[tuple] = []
+        gmem = sim.funcmem
+        orig_write = None
+        if gmem is not None:
+            orig_write = gmem.write_words
+
+            def write_words(va, values):
+                wlog.append((va, list(values)))
+                orig_write(va, values)
+
+            gmem.write_words = write_words
+        # fresh per-worker recorder: the parent stitches the parts back
+        # onto its pre-fork snapshot, so workers must not re-report
+        # telemetry they inherited at fork time
+        had_recorder = sim.recorder is not None
+        if had_recorder:
+            _rebind_recorder(sim, sim.recorder.sibling())
+        hostlog = sim.hostlog
+        stats = sim.stats
+        stats_base = stats.scalar_snapshot()
+        labels_base = dict(stats.events_by_label)
+        udlog_base = len(hostlog.entries) if hostlog is not None else 0
+        trace_base = len(sim.trace)
+        my_nodes = self.shard_nodes[shard]
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "run":
+                _op, until, budget = msg
+                before = stats.events_executed
+                try:
+                    sim._drain(budget, until)
+                except Exception:
+                    conn.send(("error", traceback.format_exc()))
+                    continue
+                out_blobs: List[Optional[bytes]] = []
+                for target in range(shards):
+                    batch = outbox[target]
+                    if batch:
+                        out_blobs.append(_dumps(batch))
+                        batch.clear()
+                    else:
+                        out_blobs.append(None)
+                host_blob = None
+                if host_out:
+                    host_blob = _dumps(host_out)
+                    host_out.clear()
+                wlog_blob = None
+                if wlog:
+                    wlog_blob = _dumps(wlog)
+                    wlog.clear()
+                conn.send((
+                    "out", out_blobs, host_blob, wlog_blob,
+                    stats.events_executed - before,
+                ))
+            elif op == "in":
+                _op, in_blobs, wlog_blobs = msg
+                if orig_write is not None:
+                    for blob in wlog_blobs:
+                        for va, values in pickle.loads(blob):
+                            orig_write(va, values)
+                for blob in in_blobs:
+                    for entry in pickle.loads(blob):
+                        heappush(heap, entry)
+                conn.send(("next", heap[0][0] if heap else None))
+            elif op == "seed":
+                blob = msg[1]
+                if blob is not None:
+                    for entry in pickle.loads(blob):
+                        heappush(heap, entry)
+                conn.send(("next", heap[0][0] if heap else None))
+            elif op == "drain_end":
+                payload = {
+                    "stats": stats.delta_since(stats_base),
+                    "busy": {
+                        nwid: lane.busy_cycles
+                        for nwid, lane in sim._lanes.items()
+                        if lane.busy_cycles
+                    },
+                    "labels": (
+                        {
+                            label: count - labels_base.get(label, 0)
+                            for label, count in stats.events_by_label.items()
+                            if count != labels_base.get(label, 0)
+                        }
+                        if sim.detailed_stats
+                        else None
+                    ),
+                    "channels": sim.network.export_channels(my_nodes),
+                    "mem": sim.memory.export_channels(my_nodes),
+                    "udlog": (
+                        hostlog.entries[udlog_base:]
+                        if hostlog is not None
+                        else []
+                    ),
+                    "trace": (
+                        sim.trace[trace_base:] if sim.trace_enabled else []
+                    ),
+                    "recorder": sim.recorder if had_recorder else None,
+                }
+                conn.send(("final", payload))
+                stats_base = stats.scalar_snapshot()
+                labels_base = dict(stats.events_by_label)
+                udlog_base = (
+                    len(hostlog.entries) if hostlog is not None else 0
+                )
+                trace_base = len(sim.trace)
+            elif op == "exit":
+                return
+            else:
+                raise SimulationError(f"unknown coordinator op {op!r}")
+
+
+def _rebind_recorder(sim, fresh) -> None:
+    """Swap a simulator's recorder hooks to ``fresh`` (same tier)."""
+    old = sim.recorder
+    sim.recorder = fresh
+    if old.record_messages:
+        sim._rec_msg = fresh.message
+    if old.record_channels:
+        sim.network.recorder = fresh
+        sim.memory.recorder = fresh
+    for rebind in sim._recorder_rebinders:
+        rebind(fresh)

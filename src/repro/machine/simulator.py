@@ -1,21 +1,34 @@
 """The discrete-event simulator core (this repo's stand-in for Fastsim).
 
-The engine keeps a single heap of in-flight messages ordered by
-(delivery time, sequence).  Executing a message on a lane is delegated to a
-*dispatcher* installed by the UDWeave runtime; the dispatcher runs the
-Python event handler, charges cycles per the Table 2 cost model, and issues
-outgoing messages back through :meth:`Simulator.send` /
-:meth:`Simulator.dram_transaction`.
+The engine keeps a heap of in-flight messages ordered by
+``(delivery time, destination, sequence)``.  Executing a message on a lane
+is delegated to a *dispatcher* installed by the UDWeave runtime; the
+dispatcher runs the Python event handler, charges cycles per the Table 2
+cost model, and issues outgoing messages back through
+:meth:`Simulator.send` / :meth:`Simulator.dram_transaction`.
 
-Determinism: ties are broken by a monotone sequence number, and all
-latency jitter (used only by failure-injection tests) is seeded, so every
-simulation run is exactly reproducible.
+Determinism: the heap key is assigned entirely at the point of issue —
+``seq`` packs the issuing actor (host, lane, or node) with that actor's
+private event count — and all latency jitter (used only by
+failure-injection tests) is seeded, so every simulation run is exactly
+reproducible.  Because the key never depends on *global* issue order, the
+event order is also independent of how the machine is partitioned into
+shards: a conservative parallel run (``shards=N``, see
+``repro.machine.parallel``) produces bit-identical results to the
+sequential drain.
+
+Remote split-phase DRAM is event-driven: the requester admits its own
+injection channel at issue time and schedules a :class:`DramArrival`
+meta-event at the memory node; the memory channel and the reply virtual
+channel are touched only when that event pops — in arrival order, at the
+node that owns them.  That locality (every channel is mutated only by its
+owning node) is what makes the machine shardable by node.
 
 Hot path: event handlers model 10-100 machine instructions (paper
 §2.1.1), so a single figure-9 sweep point executes hundreds of thousands
 of Python-dispatched events and per-event overhead here dominates
 host-side wall-clock.  The drain loop therefore works on plain
-``(time, seq, record)`` heap tuples, caches the lane lookup across
+``(time, dest, seq, record)`` heap tuples, caches the lane lookup across
 consecutive same-lane deliveries, inlines the lane busy-clock accounting,
 and keeps only scalar counters per event — per-label histograms are
 gated behind ``detailed_stats`` and per-lane cycle totals are recovered
@@ -25,10 +38,11 @@ from the lanes themselves after the drain (see ``repro.machine.stats``).
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Callable, List, Optional, Tuple
 
 from .config import MachineConfig
-from .events import HOST_NWID, MessageRecord
+from .events import HOST_NWID, DramArrival, MessageRecord
 from .lane import Lane
 from .memory import MemorySystem
 from .network import InjectionChannel, Network
@@ -37,13 +51,24 @@ from .stats import SimStats
 #: dispatcher(sim, lane, record, start_time) -> cycles consumed
 Dispatcher = Callable[["Simulator", Lane, MessageRecord, float], float]
 
+#: bits reserved for one actor's private event count in a heap ``seq``.
+#: 2**44 pushes per actor is far beyond any run this repo executes.
+ACTOR_SEQ_BITS = 44
+
 
 class SimulationError(RuntimeError):
     """Raised for malformed programs (bad target, missing dispatcher, ...)."""
 
 
 class Simulator:
-    """Event-driven simulation of one UpDown machine."""
+    """Event-driven simulation of one UpDown machine.
+
+    ``shards`` > 1 partitions the machine's nodes into that many shards
+    and drains them through conservative epoch windows (see
+    ``repro.machine.parallel``); ``parallel=True`` additionally runs each
+    shard in its own forked worker process.  Results are bit-identical to
+    the sequential (``shards=1``) drain.
+    """
 
     def __init__(
         self,
@@ -55,6 +80,8 @@ class Simulator:
         trace: bool = False,
         detailed_stats: bool = False,
         recorder=None,
+        shards: int = 1,
+        parallel: bool = False,
     ) -> None:
         self.config = config
         self.dispatcher = dispatcher
@@ -84,12 +111,54 @@ class Simulator:
         #: per send.  Off by default — tracing a large run is expensive.
         self.trace_enabled = trace
         self.trace: List[Tuple[float, float, Optional[int], int, str]] = []
-        self._heap: List[Tuple[float, int, MessageRecord]] = []
-        self._seq = 0
+        self._heap: List[Tuple[float, int, int, MessageRecord]] = []
+        #: per-actor push counters (actor 0 = host, 1+L = lane L,
+        #: 1+total_lanes+X = node X's memory/arrival actor).  Each actor
+        #: counts its own pushes, so heap keys do not depend on global
+        #: issue order — the property sharded runs rely on.
+        self._actor_seq: dict = {}
+        #: shard-routing hook installed by ``repro.machine.parallel``;
+        #: ``None`` means push straight into ``self._heap``.
+        self._route: Optional[Callable] = None
         self._lanes: dict[int, Lane] = {}
         self.now: float = 0.0
         #: messages addressed to the host (program results / completion).
         self.host_inbox: List[Tuple[float, MessageRecord]] = []
+        # --- shard configuration -------------------------------------
+        self.shards = shards
+        self.parallel = parallel
+        self._scheduler = None
+        self._shard_of_node: Optional[List[int]] = None
+        #: shared runtime state the parallel executor must replicate
+        #: across worker processes; set via :meth:`bind_shared`.
+        self.funcmem = None
+        self.hostlog = None
+        self._recorder_rebinders: List[Callable] = []
+        self._setup_token: Optional[Callable] = None
+        if shards < 1:
+            raise SimulationError("shards must be at least 1")
+        if shards > 1:
+            if shards > config.nodes:
+                raise SimulationError(
+                    f"cannot split {config.nodes} node(s) into {shards} "
+                    f"shards — shards cannot exceed nodes"
+                )
+            if latency_jitter_cycles > 0.0:
+                raise SimulationError(
+                    "latency jitter draws from one shared RNG and is "
+                    "incompatible with sharded execution; set "
+                    "latency_jitter_cycles=0"
+                )
+            if config.conservative_lookahead_cycles <= 0.0:
+                raise SimulationError(
+                    "sharded execution needs a positive conservative "
+                    "lookahead (remote_msg_latency_cycles and "
+                    "remote_dram_transit_cycles must both be > 0)"
+                )
+            nodes = config.nodes
+            self._shard_of_node = [
+                n * shards // nodes for n in range(nodes)
+            ]
         # hot-path constants (avoid per-send property/attribute chains)
         self._lanes_per_node = config.lanes_per_node
         self._total_lanes = config.total_lanes
@@ -132,9 +201,63 @@ class Simulator:
     def instantiated_lanes(self) -> int:
         return len(self._lanes)
 
+    def bind_shared(
+        self,
+        funcmem=None,
+        hostlog=None,
+        recorder_rebind=None,
+        setup_token=None,
+    ):
+        """Register runtime-owned shared state for parallel execution.
+
+        ``funcmem`` (a ``GlobalMemory``) has its writes logged and
+        replicated across shard processes; ``hostlog`` (a ``UDLog``) is
+        merged back to the parent; ``recorder_rebind`` is called with the
+        fresh per-worker recorder so objects outside the simulator (the
+        UDWeave runtime, whose KVMSR hooks read ``runtime.recorder``)
+        observe the swap.  ``setup_token`` is a zero-argument callable
+        fingerprinting host-side program setup (registered thread
+        classes, jobs, host labels); the parallel executor snapshots it
+        at fork time and rejects later drains if it changed — forked
+        workers cannot observe registrations made in the host process.
+        """
+        if funcmem is not None:
+            self.funcmem = funcmem
+        if hostlog is not None:
+            self.hostlog = hostlog
+        if recorder_rebind is not None:
+            self._recorder_rebinders.append(recorder_rebind)
+        if setup_token is not None:
+            self._setup_token = setup_token
+
     # ------------------------------------------------------------------
     # Message transport
     # ------------------------------------------------------------------
+
+    def _push(self, time: float, record, actor: int) -> None:
+        """The single heap-insertion point.
+
+        Every scheduled delivery — sends, host injections, DRAM arrivals
+        and responses — funnels through here, so the shard scheduler has
+        one place to hook (``self._route``) when events must land in a
+        per-shard heap or a cross-shard boundary batch instead of the
+        global heap.  ``actor`` identifies the issuing execution context;
+        its private counter makes the key unique and shard-independent.
+        """
+        aseq = self._actor_seq
+        count = aseq.get(actor, 0)
+        aseq[actor] = count + 1
+        entry = (
+            time,
+            record.network_id,
+            (actor << ACTOR_SEQ_BITS) | count,
+            record,
+        )
+        route = self._route
+        if route is None:
+            heapq.heappush(self._heap, entry)
+        else:
+            route(entry)
 
     def send(
         self,
@@ -151,14 +274,20 @@ class Simulator:
         stats = self.stats
         rec_msg = self._rec_msg
         nwid = record.network_id
+        src_nwid = record.src_network_id
+        if src_nwid is not None and src_nwid >= 0:
+            actor = 1 + src_nwid
+        elif src_node is None:
+            actor = 0
+        else:
+            actor = 1 + self._total_lanes + src_node
         if nwid == HOST_NWID:
             # Results mailbox: charge the send at the source but deliver
             # instantly — the host is outside the modeled machine.  Still
             # a message: it appears in the trace and in the taxonomy
             # (``messages_host_bound``), so result traffic is visible and
             # the counters partition ``messages_sent``.
-            self._seq += 1
-            heapq.heappush(self._heap, (t_issue, self._seq, record))
+            self._push(t_issue, record, actor)
             stats.messages_sent += 1
             stats.messages_host_bound += 1
             if self.trace_enabled:
@@ -176,8 +305,7 @@ class Simulator:
         t_deliver = self._deliver_time(
             t_issue, src_node, dst_node, self._message_bytes
         )
-        self._seq += 1
-        heapq.heappush(self._heap, (t_deliver, self._seq, record))
+        self._push(t_deliver, record, actor)
         stats.messages_sent += 1
         if self.trace_enabled:
             self.trace.append(
@@ -216,12 +344,26 @@ class Simulator:
     ) -> float:
         """Model one split-phase DRAM access; schedule ``response`` if given.
 
-        Returns the time the response (or write completion) lands back at
-        the requester.  Reads without a response record are disallowed —
-        the data has to go somewhere — unless ``blocking`` is set, in which
-        case the *caller* stalls until the returned time (used by
+        Local accesses are serviced synchronously; the return value is
+        the time the response (or write completion) lands back at the
+        requester.  *Remote* non-blocking accesses are event-driven: the
+        request is admitted through the requester's injection channel at
+        issue time, then a :class:`DramArrival` meta-event carries it to
+        the memory node, where the DRAM channel and the reply virtual
+        channel are serviced in arrival order when the event pops.  The
+        return value for those is the request's *arrival* time at the
+        memory node — the response delivery time is not knowable at issue
+        (it depends on the queue at the memory node when the request
+        lands).
+
+        Reads without a response record are disallowed — the data has to
+        go somewhere — unless ``blocking`` is set, in which case the
+        *caller* stalls until the returned time (used by
         ``LaneContext.dram_read_blocking`` to charge read-modify-write
-        fetches that complete within one event).
+        fetches that complete within one event).  Blocking accesses need
+        the round trip synchronously, so they service the memory node's
+        channels at issue time; under sharding that is only legal when
+        both nodes live on the same shard.
 
         Remote accesses ride the fabric like any other traffic: each
         direction is admitted through an injection channel at its sending
@@ -233,78 +375,144 @@ class Simulator:
         """
         if is_read and response is None and not blocking:
             raise SimulationError("DRAM read requires a response record")
-        remote = src_node != memory_node
-        if remote:
-            msg_bytes = self._message_bytes
-            transit = self._dram_transit
-            out_bytes = msg_bytes if is_read else msg_bytes + nbytes
-            if self._channels_recorded:
-                t_arrive = self._dram_hop(
-                    t_issue, src_node, memory_node, out_bytes, transit
-                )
-            else:
-                # Network.dram_hop inlined (request direction): two calls
-                # per remote access would dominate DRAM-heavy apps.
-                chans = self._inj_channels
-                ch = chans.get(src_node)
-                if ch is None:
-                    ch = chans[src_node] = InjectionChannel()
-                free_at = ch.free_at
-                start = t_issue if t_issue > free_at else free_at
-                departed = ch.free_at = start + out_bytes / self._inj_bw
-                ch.bytes_injected += out_bytes
-                t_arrive = departed + transit
-        else:
-            t_arrive = t_issue
-        result = self.memory.access(
-            t_arrive, src_node, memory_node, nbytes, local_offset=local_offset
-        )
-        if remote:
-            back_bytes = nbytes if is_read else msg_bytes
-            if self._channels_recorded:
-                t_back = self._dram_hop(
-                    result.response_ready,
-                    memory_node,
-                    src_node,
-                    back_bytes,
-                    transit,
-                    reply=True,
-                )
-            else:
-                # Network.dram_hop inlined (reply virtual channel).
-                chans = self._reply_channels
-                ch = chans.get(memory_node)
-                if ch is None:
-                    ch = chans[memory_node] = InjectionChannel()
-                ready = result.response_ready
-                free_at = ch.free_at
-                start = ready if ready > free_at else free_at
-                departed = ch.free_at = start + back_bytes / self._inj_bw
-                ch.bytes_injected += back_bytes
-                t_back = departed + transit
-        else:
-            t_back = result.response_ready
         stats = self.stats
+        src_nwid = response.src_network_id if response is not None else None
+        if src_nwid is not None and src_nwid >= 0:
+            actor = 1 + src_nwid
+        else:
+            actor = 1 + self._total_lanes + src_node
         if is_read:
             stats.dram_reads += 1
             stats.dram_bytes_read += nbytes
         else:
             stats.dram_writes += 1
             stats.dram_bytes_written += nbytes
-        if remote:
-            stats.dram_remote_accesses += 1
-        if response is not None:
-            self._push(t_back, response)
+        if src_node == memory_node:
+            result = self.memory.access(
+                t_issue, src_node, memory_node, nbytes,
+                local_offset=local_offset,
+            )
+            t_back = result.response_ready
+            if response is not None:
+                self._push(t_back, response, actor)
+            elif t_back > stats.final_tick:
+                # Fire-and-forget writes still occupy the machine until
+                # they land; the makespan must cover them.
+                stats.final_tick = t_back
+            return t_back
+        stats.dram_remote_accesses += 1
+        msg_bytes = self._message_bytes
+        transit = self._dram_transit
+        out_bytes = msg_bytes if is_read else msg_bytes + nbytes
+        if self._channels_recorded:
+            t_arrive = self._dram_hop(
+                t_issue, src_node, memory_node, out_bytes, transit
+            )
         else:
-            # Fire-and-forget writes still occupy the machine until they
-            # land; the makespan must cover them.
+            # Network.dram_hop inlined (request direction): two calls
+            # per remote access would dominate DRAM-heavy apps.
+            chans = self._inj_channels
+            ch = chans.get(src_node)
+            if ch is None:
+                ch = chans[src_node] = InjectionChannel()
+            free_at = ch.free_at
+            start = t_issue if t_issue > free_at else free_at
+            departed = ch.free_at = start + out_bytes / self._inj_bw
+            ch.bytes_injected += out_bytes
+            t_arrive = departed + transit
+        back_bytes = nbytes if is_read else msg_bytes
+        if blocking:
+            # Synchronous round trip: the caller stalls for the result,
+            # so the memory node's channels are serviced now, at issue —
+            # ahead of any in-flight arrivals.  Under sharding this
+            # reaches into the memory node's state, legal only when both
+            # nodes share a shard (identical order to the sequential
+            # engine either way).
+            shard_map = self._shard_of_node
+            if (
+                shard_map is not None
+                and shard_map[src_node] != shard_map[memory_node]
+            ):
+                raise SimulationError(
+                    f"blocking DRAM read from node {src_node} to node "
+                    f"{memory_node} crosses a shard boundary; sharded "
+                    f"runs must keep blocking reads shard-local (use "
+                    f"split-phase reads instead)"
+                )
+            result = self.memory.access(
+                t_arrive, src_node, memory_node, nbytes,
+                local_offset=local_offset,
+            )
+            t_back = self._reply_hop(
+                result.response_ready, memory_node, src_node, back_bytes
+            )
+            if response is not None:
+                self._push(t_back, response, actor)
+            elif t_back > stats.final_tick:
+                stats.final_tick = t_back
+            return t_back
+        arrival = DramArrival(
+            self._total_lanes + memory_node,
+            response,
+            src_node,
+            memory_node,
+            nbytes,
+            local_offset,
+            back_bytes,
+        )
+        self._push(t_arrive, arrival, actor)
+        return t_arrive
+
+    def _reply_hop(
+        self, t_ready: float, memory_node: int, src_node: int, nbytes: int
+    ) -> float:
+        """Return direction of a remote access (reply virtual channel)."""
+        if self._channels_recorded:
+            return self._dram_hop(
+                t_ready, memory_node, src_node, nbytes,
+                self._dram_transit, reply=True,
+            )
+        # Network.dram_hop inlined (reply virtual channel).
+        chans = self._reply_channels
+        ch = chans.get(memory_node)
+        if ch is None:
+            ch = chans[memory_node] = InjectionChannel()
+        free_at = ch.free_at
+        start = t_ready if t_ready > free_at else free_at
+        departed = ch.free_at = start + nbytes / self._inj_bw
+        ch.bytes_injected += nbytes
+        return departed + self._dram_transit
+
+    def _dram_arrive(self, t_arrive: float, arrival: DramArrival) -> None:
+        """Service a remote split-phase access at its memory node.
+
+        Runs when the :class:`DramArrival` meta-event pops: the memory
+        channel is occupied in *arrival* order (requests that left their
+        sources earlier are serviced first), the reply rides the memory
+        node's reply virtual channel, and the response — if any — is
+        pushed with the memory node's own actor counter.  All state
+        touched here belongs to ``arrival.memory_node``, so under
+        sharding this executes on the shard that owns it.
+        """
+        mem_node = arrival.memory_node
+        result = self.memory.access(
+            t_arrive,
+            arrival.src_node,
+            mem_node,
+            arrival.nbytes,
+            local_offset=arrival.local_offset,
+        )
+        t_back = self._reply_hop(
+            result.response_ready, mem_node, arrival.src_node,
+            arrival.back_bytes,
+        )
+        response = arrival.response
+        if response is not None:
+            self._push(t_back, response, 1 + self._total_lanes + mem_node)
+        else:
+            stats = self.stats
             if t_back > stats.final_tick:
                 stats.final_tick = t_back
-        return t_back
-
-    def _push(self, time: float, record: MessageRecord) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, record))
 
     # ------------------------------------------------------------------
     # Execution
@@ -312,13 +520,39 @@ class Simulator:
 
     def inject(self, record: MessageRecord, t: float = 0.0) -> None:
         """Host-side program start: deliver ``record`` without fabric cost."""
-        self._push(t, record)
+        self._push(t, record, 0)
 
-    def run(self, max_events: Optional[int] = None) -> SimStats:
+    def run(
+        self,
+        max_events: Optional[int] = None,
+        until: Optional[float] = None,
+    ) -> SimStats:
         """Drain the event heap; returns the accumulated statistics.
 
         ``max_events`` guards against runaway programs in tests.
+
+        ``until`` bounds the drain: only events strictly before that tick
+        execute, and the heap (with everything at or after ``until``)
+        stays intact, so the caller can re-enter — the bounded stepping
+        the conservative epoch driver is built on.  Unavailable when
+        ``shards > 1`` (the shard scheduler owns windowing there).
         """
+        if self.shards > 1:
+            if until is not None:
+                raise SimulationError(
+                    "bounded stepping (until=) is owned by the shard "
+                    "scheduler when shards > 1"
+                )
+            sched = self._scheduler
+            if sched is None:
+                from .parallel import make_scheduler
+
+                sched = self._scheduler = make_scheduler(self)
+            return sched.drain(max_events)
+        return self._drain(max_events, math.inf if until is None else until)
+
+    def _drain(self, max_events: Optional[int], until: float) -> SimStats:
+        """The sequential drain loop over ``self._heap`` (see :meth:`run`)."""
         dispatcher = self.dispatcher
         if dispatcher is None:
             raise SimulationError("no dispatcher installed")
@@ -340,7 +574,7 @@ class Simulator:
         events_by_label = stats.events_by_label
         final_tick = stats.final_tick
         events_executed = 0
-        host_nwid = HOST_NWID
+        total_lanes = self._total_lanes
         # Lane cache: KVMSR map loops and reduce shuffles deliver bursts
         # of consecutive events to the same lane; skip the dict probe.
         cached_nwid = -1
@@ -348,17 +582,27 @@ class Simulator:
         processed = 0
         try:
             while heap:
-                ev_time, _seq, rec = heappop(heap)
+                first = heap[0]
+                ev_time = first[0]
+                if ev_time >= until:
+                    break
+                heappop(heap)
+                rec = first[3]
                 self.now = ev_time
                 nwid = rec.network_id
-                if nwid == host_nwid:
-                    host_inbox.append((ev_time, rec))
-                    if ev_time > final_tick:
-                        final_tick = ev_time
-                    continue
                 if nwid == cached_nwid:
                     ln = cached_lane
                 else:
+                    if nwid < 0:
+                        # Host mailbox delivery (HOST_NWID).
+                        host_inbox.append((ev_time, rec))
+                        if ev_time > final_tick:
+                            final_tick = ev_time
+                        continue
+                    if nwid >= total_lanes:
+                        # Remote DRAM request arriving at its memory node.
+                        self._dram_arrive(ev_time, rec)
+                        continue
                     ln = lanes.get(nwid)
                     if ln is None:
                         ln = lane_of(nwid)
@@ -403,6 +647,18 @@ class Simulator:
         for nwid, ln in self._lanes.items():
             if ln.busy_cycles:
                 by_lane[nwid] = ln.busy_cycles
+
+    def shutdown(self) -> None:
+        """Release parallel-execution resources (worker processes).
+
+        A no-op for sequential and in-process sharded simulators; safe to
+        call more than once.  Forked workers are daemonic, so skipping
+        this leaks nothing past interpreter exit — but long-lived hosts
+        (sweeps, test suites) should call it between machines.
+        """
+        sched = self._scheduler
+        if sched is not None:
+            sched.close()
 
     # ------------------------------------------------------------------
     # Results

@@ -201,6 +201,112 @@ class FlightRecorder:
     def phase_names(self) -> List[str]:
         return sorted({p for _j, p, _s, _e in self.phase_spans})
 
+    # ------------------------------------------------------------------
+    # Shard stitching (repro.machine.parallel)
+    # ------------------------------------------------------------------
+
+    def sibling(self) -> "FlightRecorder":
+        """An empty recorder of the same tier and caps (per-shard copy)."""
+        return FlightRecorder(
+            self.tier,
+            max_lane_spans=self._max_lane_spans,
+            max_channel_events=self._max_channel_events,
+        )
+
+    def export_state(self) -> Dict[str, Any]:
+        """Deep-copy snapshot of all accumulated telemetry.
+
+        The parallel coordinator snapshots the pre-fork recorder once,
+        then rebuilds the merged view from (snapshot + per-worker
+        recorders) at every drain — workers keep accumulating across
+        drains, so merging their *full* contents onto a fixed base is the
+        idempotent way to stay current.
+        """
+        import copy
+
+        return {
+            "lane_spans": list(self.lane_spans),
+            "lane_spans_dropped": self.lane_spans_dropped,
+            "inj_by_node": copy.deepcopy(self.inj_by_node),
+            "dram_by_node": copy.deepcopy(self.dram_by_node),
+            "inj_wait": copy.deepcopy(self.inj_wait),
+            "dram_wait": copy.deepcopy(self.dram_wait),
+            "inj_events": list(self.inj_events),
+            "dram_events": list(self.dram_events),
+            "channel_events_dropped": self.channel_events_dropped,
+            "msg_latency": copy.deepcopy(self.msg_latency),
+            "phase_spans": list(self.phase_spans),
+            "marks": list(self.marks),
+            "_open_phases": dict(self._open_phases),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Reset this recorder's content to an :meth:`export_state` copy."""
+        import copy
+
+        self.lane_spans = list(state["lane_spans"])
+        self.lane_spans_dropped = state["lane_spans_dropped"]
+        self.inj_by_node = copy.deepcopy(state["inj_by_node"])
+        self.dram_by_node = copy.deepcopy(state["dram_by_node"])
+        self.inj_wait = copy.deepcopy(state["inj_wait"])
+        self.dram_wait = copy.deepcopy(state["dram_wait"])
+        self.inj_events = list(state["inj_events"])
+        self.dram_events = list(state["dram_events"])
+        self.channel_events_dropped = state["channel_events_dropped"]
+        self.msg_latency = copy.deepcopy(state["msg_latency"])
+        self.phase_spans = list(state["phase_spans"])
+        self.marks = list(state["marks"])
+        self._open_phases = dict(state["_open_phases"])
+
+    def merge_from(self, other: "FlightRecorder") -> None:
+        """Fold another recorder's telemetry into this one.
+
+        Per-node channel maps are disjoint across shards (each channel is
+        fed only by its owning node), so entries are summed field-wise in
+        the rare overlap case and otherwise adopted; histograms merge
+        bucket-wise; timeline lists concatenate (callers sort once at the
+        end via :meth:`sort_timelines`).
+        """
+        self.lane_spans.extend(other.lane_spans)
+        self.lane_spans_dropped += other.lane_spans_dropped
+        for mine, theirs in (
+            (self.inj_by_node, other.inj_by_node),
+            (self.dram_by_node, other.dram_by_node),
+        ):
+            for node, ch in theirs.items():
+                dst = mine.get(node)
+                if dst is None:
+                    dst = mine[node] = ChannelStats()
+                dst.admits += ch.admits
+                dst.bytes += ch.bytes
+                dst.wait_sum += ch.wait_sum
+                dst.occupancy_sum += ch.occupancy_sum
+                if ch.wait_max > dst.wait_max:
+                    dst.wait_max = ch.wait_max
+        self.inj_wait.merge(other.inj_wait)
+        self.dram_wait.merge(other.dram_wait)
+        self.inj_events.extend(other.inj_events)
+        self.dram_events.extend(other.dram_events)
+        self.channel_events_dropped += other.channel_events_dropped
+        for kind, hist in other.msg_latency.items():
+            self.msg_latency[kind].merge(hist)
+        self.phase_spans.extend(other.phase_spans)
+        self.marks.extend(other.marks)
+        self._open_phases.update(other._open_phases)
+
+    def sort_timelines(self) -> None:
+        """Time-order the concatenated per-shard timeline lists.
+
+        After shard merging the lists are grouped by shard; one sort
+        restores a global timeline so exports (Chrome trace, perflog)
+        read identically to a sequential recording.
+        """
+        self.lane_spans.sort(key=lambda s: (s[1], s[0], s[2], s[3]))
+        self.inj_events.sort(key=lambda e: (e[1], e[0]))
+        self.dram_events.sort(key=lambda e: (e[1], e[0]))
+        self.phase_spans.sort(key=lambda p: (p[2], p[3], p[0], p[1]))
+        self.marks.sort(key=lambda m: (m[2], m[0], m[1] or ""))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FlightRecorder(tier={self.tier!r}, "

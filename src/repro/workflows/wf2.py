@@ -49,11 +49,20 @@ class WF2Workflow:
         patterns: Sequence[Pattern],
         seeds: Sequence[int],
         hops: int = 2,
+        shards: int = 1,
+        parallel: bool = False,
     ) -> None:
         self.config = config
         self.patterns = list(patterns)
         self.seeds = list(seeds)
         self.hops = hops
+        self.shards = shards
+        self.parallel = parallel
+
+    def _runtime(self) -> UpDownRuntime:
+        return UpDownRuntime(
+            self.config, shards=self.shards, parallel=self.parallel
+        )
 
     def run(
         self,
@@ -65,7 +74,7 @@ class WF2Workflow:
         phase_seconds: Dict[str, float] = {}
 
         # --- K1: bulk ingestion of the historical stream ----------------
-        rt = UpDownRuntime(self.config)
+        rt = self._runtime()
         ingest = IngestionApp(rt, records, name="wf2k1", adjacency=True)
         ing_res = ingest.run(max_events=max_events)
         phase_seconds["k1_ingest"] = rt.udlog.seconds_between(
@@ -73,7 +82,7 @@ class WF2Workflow:
         )
 
         # --- K4: live stream matched against the registered patterns ----
-        rt2 = UpDownRuntime(self.config)
+        rt2 = self._runtime()
         matcher = PartialMatchApp(rt2, self.patterns, name="wf2k4")
         pm_res = matcher.run_stream(
             records, gap_cycles=gap_cycles, max_events=max_events
@@ -81,13 +90,15 @@ class WF2Workflow:
         phase_seconds["k4_match_mean_latency"] = pm_res.mean_latency_seconds
 
         # --- reasoning: multihop reachability over the ingested graph ---
-        rt3 = UpDownRuntime(self.config)
+        rt3 = self._runtime()
         reason = MultihopApp(rt3, records, name="wf2mh")
         reason.run_ingest(max_events=max_events)
         mh_res = reason.query(
             self.seeds, self.hops, max_events=max_events
         )
         phase_seconds["reasoning"] = mh_res.elapsed_seconds
+        for runtime in (rt, rt2, rt3):
+            runtime.shutdown()
 
         perflog = "\n".join(
             [

@@ -1,4 +1,11 @@
-"""Remote DRAM cost model: the 7:1 latency knob and injection routing."""
+"""Remote DRAM cost model: the 7:1 latency knob and injection routing.
+
+Remote accesses are split-phase *events*: the request rides the fabric,
+is serviced when it arrives at the memory node, and the response comes
+back as a scheduled delivery.  Costs are therefore measured by draining
+the simulator and reading the time the response handler starts — the
+same way a program observes DRAM latency.
+"""
 
 import pytest
 
@@ -7,16 +14,31 @@ from repro.machine.events import NEW_THREAD
 
 
 def _sim(**overrides):
-    return Simulator(
-        bench_machine(nodes=2, **overrides),
-        dispatcher=lambda sim, lane, rec, start: 1.0,
-    )
+    executed = []
+
+    def dispatcher(sim, lane, rec, start):
+        executed.append((rec.label, start))
+        return 1.0
+
+    sim = Simulator(bench_machine(nodes=2, **overrides), dispatcher=dispatcher)
+    sim.executed = executed
+    return sim
 
 
 def _round_trip(sim, src, mem, nbytes=64):
-    return sim.dram_transaction(
-        MessageRecord(0, 0, "r"), 0.0, src, mem, nbytes, is_read=True
+    """Issue one read from a lane on ``src`` and return the time its
+    response handler starts executing (the observed round-trip)."""
+    requester = sim.config.first_lane_of_node(src)
+    sim.dram_transaction(
+        MessageRecord(requester, NEW_THREAD, "resp", src_network_id=requester),
+        0.0,
+        src,
+        mem,
+        nbytes,
+        is_read=True,
     )
+    sim.run()
+    return sim.executed[-1][1]
 
 
 class TestLatencyRatioKnob:
@@ -57,17 +79,30 @@ class TestLatencyRatioKnob:
     def test_dram_path_is_jitter_free(self):
         """The memory system stays deterministic even when message jitter
         is enabled (failure-injection runs must not perturb DRAM)."""
-        times = {
-            seed: Simulator(
+        times = {}
+        for seed in (1, 2):
+            executed = []
+
+            def dispatcher(sim, lane, rec, start, executed=executed):
+                executed.append(start)
+                return 1.0
+
+            sim = Simulator(
                 bench_machine(nodes=2),
-                dispatcher=lambda s, l, r, t: 1.0,
+                dispatcher=dispatcher,
                 latency_jitter_cycles=50.0,
                 seed=seed,
-            ).dram_transaction(
-                MessageRecord(0, 0, "r"), 0.0, 0, 1, 64, is_read=True
             )
-            for seed in (1, 2)
-        }
+            sim.dram_transaction(
+                MessageRecord(0, NEW_THREAD, "r", src_network_id=0),
+                0.0,
+                0,
+                1,
+                64,
+                is_read=True,
+            )
+            sim.run()
+            times[seed] = executed[-1]
         assert times[1] == times[2]
 
 
@@ -87,6 +122,7 @@ class TestInjectionRouting:
     def test_remote_write_injects_data_then_completion(self):
         sim = _sim()
         sim.dram_transaction(None, 0.0, 0, 1, 512, is_read=False)
+        sim.run()
         cfg = sim.config
         assert sim.network.injected_bytes(0) == cfg.message_bytes + 512
         assert sim.network.injected_bytes(1) == cfg.message_bytes
@@ -114,6 +150,39 @@ class TestInjectionRouting:
             _sim(node_injection_bytes_per_cycle=1.0), 0, 1, nbytes=512
         )
         assert slow > fast
+
+    def test_requests_serviced_in_arrival_order(self):
+        """Two requests racing to one memory node are serviced in fabric
+        arrival order, not issue-call order — the far requester issued
+        first but arrives second behind a near one that issued later."""
+        executed = []
+
+        def dispatcher(sim, lane, rec, start):
+            executed.append((rec.label, start))
+            return 1.0
+
+        sim = Simulator(
+            bench_machine(nodes=3, node_injection_bytes_per_cycle=1.0),
+            dispatcher=dispatcher,
+        )
+        lane_far = sim.config.first_lane_of_node(2)
+        lane_near = sim.config.first_lane_of_node(1)
+        # far issues first but behind a saturated injection port
+        sim.network._channel(2).free_at = 5000.0
+        sim.dram_transaction(
+            MessageRecord(lane_far, NEW_THREAD, "far", src_network_id=lane_far),
+            0.0, 2, 0, 64, is_read=True,
+        )
+        sim.dram_transaction(
+            MessageRecord(
+                lane_near, NEW_THREAD, "near", src_network_id=lane_near
+            ),
+            1.0, 1, 0, 64, is_read=True,
+        )
+        sim.run()
+        assert [label for label, _ in executed] == ["near", "far"]
+        # the near response was serviced first, so it also returns first
+        assert executed[0][1] < executed[1][1]
 
 
 class TestHostBoundTaxonomy:

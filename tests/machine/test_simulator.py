@@ -122,10 +122,15 @@ class TestDram:
             )
 
     def test_remote_access_slower_than_local(self, sim):
-        resp = MessageRecord(0, 0, "r")
-        t_local = sim.dram_transaction(resp, 0.0, 0, 0, 64, is_read=True)
+        def response_start(s, mem_node):
+            resp = MessageRecord(0, NEW_THREAD, "r", src_network_id=0)
+            s.dram_transaction(resp, 0.0, 0, mem_node, 64, is_read=True)
+            s.run()
+            return s.dispatcher.executed[-1][2]
+
+        t_local = response_start(sim, 0)
         sim2 = Simulator(bench_machine(nodes=2), dispatcher=null_dispatcher())
-        t_remote = sim2.dram_transaction(resp, 0.0, 0, 1, 64, is_read=True)
+        t_remote = response_start(sim2, 1)
         assert t_remote > t_local
         # remote pays one fabric transit each way (§3.2's 7:1 knob)
         assert t_remote >= t_local + 2 * sim.config.remote_dram_transit_cycles
