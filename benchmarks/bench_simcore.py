@@ -57,8 +57,21 @@ QUICK_WORKLOADS = (
 GRAPH_SEED = 7
 
 
-def _build(name: str, scale: int, nodes: int, shards: int, parallel: bool):
-    """Fresh (runtime, app, run_kwargs) — setup cost excluded from timing."""
+def _build(
+    name: str,
+    scale: int,
+    nodes: int,
+    shards: int,
+    parallel: bool,
+    explicit_fault_off: bool = False,
+):
+    """Fresh (runtime, app, run_kwargs) — setup cost excluded from timing.
+
+    ``explicit_fault_off`` builds the runtime with the fault subsystem's
+    arguments spelled out as disabled (``faults=None, reliable=False,
+    watchdog_cycles=None``) instead of omitted — the two must be
+    indistinguishable in both results and cost (see ``--fault-guard``).
+    """
     from repro.apps.bfs import BFSApp
     from repro.apps.pagerank import PageRankApp
     from repro.apps.triangle import TriangleCountApp
@@ -67,7 +80,14 @@ def _build(name: str, scale: int, nodes: int, shards: int, parallel: bool):
     from repro.udweave import UpDownRuntime
 
     graph = rmat(scale, seed=GRAPH_SEED)
-    rt = UpDownRuntime(bench_config(nodes), shards=shards, parallel=parallel)
+    fault_kw = (
+        dict(faults=None, reliable=False, watchdog_cycles=None)
+        if explicit_fault_off
+        else {}
+    )
+    rt = UpDownRuntime(
+        bench_config(nodes), shards=shards, parallel=parallel, **fault_kw
+    )
     if name == "pagerank":
         app = PageRankApp(rt, graph, block_size=BENCH_BLOCK_SIZE)
     elif name == "bfs":
@@ -87,12 +107,15 @@ def run_workload(
     repeats: int,
     shards: int = 1,
     parallel: bool = False,
+    explicit_fault_off: bool = False,
 ):
     """Best-of-``repeats`` events/sec for one workload; returns a dict."""
     best = None
     fingerprint = None
     for _ in range(repeats):
-        rt, app = _build(name, scale, nodes, shards, parallel)
+        rt, app = _build(
+            name, scale, nodes, shards, parallel, explicit_fault_off
+        )
         t0 = time.perf_counter()
         try:
             res = app.run(**kwargs)
@@ -119,6 +142,86 @@ def run_workload(
                 "events_per_second": round(eps, 1),
             }
     return best
+
+
+def run_fault_guard(workloads, repeats: int, tolerance: float) -> int:
+    """Perf guard: a runtime with the fault subsystem explicitly disabled
+    must be indistinguishable from one that never mentions it.
+
+    The healthy send path gates all fault/transport work behind two
+    pointer tests, so ``faults=None`` must keep (a) every fingerprint
+    counter bit-identical and (b) drain cost within ``tolerance`` of the
+    baseline.  The cost metric is **process CPU time** (best-of-
+    ``repeats``, variants interleaved), not wall-clock — shared CI
+    runners swing wall-clock by double digits between identical runs,
+    which would drown the signal this guard exists to catch.  A future
+    change that makes the disabled subsystem cost real cycles fails
+    here before it lands.
+    """
+
+    def sample(explicit_fault_off):
+        rt, app = _build(
+            name, scale, nodes, 1, False, explicit_fault_off
+        )
+        c0 = time.process_time()
+        try:
+            res = app.run(**kwargs)
+        finally:
+            rt.shutdown()
+        cpu = time.process_time() - c0
+        stats = res.stats
+        return {
+            "final_tick": stats.final_tick,
+            "events_executed": stats.events_executed,
+            "messages_sent": stats.messages_sent,
+            "cpu_seconds": cpu,
+        }
+
+    failures = []
+    for name, scale, nodes, kwargs in workloads:
+        # interleave the two variants so frequency scaling / cache state
+        # drift hits both sides of the comparison equally
+        base = off = None
+        for _ in range(repeats):
+            s = sample(explicit_fault_off=False)
+            if base is None or s["cpu_seconds"] < base["cpu_seconds"]:
+                base = s
+            s = sample(explicit_fault_off=True)
+            if off is None or s["cpu_seconds"] < off["cpu_seconds"]:
+                off = s
+        fp_keys = ("final_tick", "events_executed", "messages_sent")
+        fp_base = {k: base[k] for k in fp_keys}
+        fp_off = {k: off[k] for k in fp_keys}
+        if fp_off != fp_base:
+            failures.append(
+                f"{name}: faults=None changed the simulation — "
+                f"{fp_base} != {fp_off}"
+            )
+        overhead = (
+            off["cpu_seconds"] / base["cpu_seconds"] - 1.0
+            if base["cpu_seconds"]
+            else 0.0
+        )
+        verdict = "ok" if overhead <= tolerance else "SLOW"
+        print(
+            f"{name:10} baseline {base['cpu_seconds']:7.3f}s CPU, "
+            f"faults=None {off['cpu_seconds']:7.3f}s CPU "
+            f"({overhead:+.1%}) {verdict}"
+        )
+        if overhead > tolerance:
+            failures.append(
+                f"{name}: faults=None costs {overhead:.1%} CPU "
+                f"(tolerance {tolerance:.0%})"
+            )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"fault guard OK: disabled fault subsystem is free "
+        f"(fingerprints bit-identical, CPU within {tolerance:.0%})"
+    )
+    return 0
 
 
 def main(argv=None) -> int:
@@ -150,11 +253,32 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path"
     )
+    parser.add_argument(
+        "--fault-guard",
+        action="store_true",
+        help="verify faults=None is zero-cost (bit-identical fingerprints, "
+        "throughput within --guard-tolerance) instead of recording timings",
+    )
+    parser.add_argument(
+        "--guard-tolerance",
+        type=float,
+        default=0.05,
+        help="allowed fractional throughput loss under --fault-guard "
+        "(the default absorbs shared-runner timing noise — on a quiet "
+        "host, tighten to 0.01; the fingerprint comparison is exact "
+        "regardless)",
+    )
     args = parser.parse_args(argv)
 
     if args.parallel and args.shards < 2:
         parser.error("--parallel requires --shards of at least 2")
     workloads = QUICK_WORKLOADS if args.quick else FULL_WORKLOADS
+    if args.fault_guard:
+        # best-of-3 minimum: the guard compares two identical code paths,
+        # so anything it sees beyond noise is a real regression
+        return run_fault_guard(
+            workloads, max(args.repeats, 3), args.guard_tolerance
+        )
     entry = {
         "python": platform.python_version(),
         "quick": args.quick,

@@ -1,0 +1,33 @@
+"""Deterministic fault injection + resilient delivery (the chaos harness).
+
+Three pieces, wired through the machine / runtime / KVMSR layers:
+
+* :class:`FaultPlan` — a seeded, content-keyed schedule of message
+  drops/duplicates/delays, lane stalls, degraded DRAM bandwidth, and
+  node fail-stop.  Faulty runs are bit-reproducible and invariant to the
+  shard count (see ``plan.py``).
+* :class:`ReliableTransport` / :class:`ReliabilityConfig` — opt-in
+  ack/retry delivery so programs complete exactly-once under message
+  loss (``transport.py``); enable via ``UpDownRuntime(reliable=True)``.
+* Liveness watchdogs — ``QuiescenceStall`` (simulated-time progress
+  monitor in the simulator) and ``ShardWorkerFailed`` (parent-side
+  health check for forked shard workers), re-exported here so chaos
+  tests import one package.
+
+See DESIGN.md, "Fault model & resilient delivery".
+"""
+
+from repro.machine.parallel import ShardWorkerFailed
+from repro.machine.simulator import QuiescenceStall
+
+from .plan import FaultPlan, FaultPlanError
+from .transport import ReliabilityConfig, ReliableTransport
+
+__all__ = [
+    "FaultPlan",
+    "FaultPlanError",
+    "ReliabilityConfig",
+    "ReliableTransport",
+    "QuiescenceStall",
+    "ShardWorkerFailed",
+]

@@ -26,6 +26,7 @@ from repro.apps.tform import Record
 from repro.apps.triangle import TriangleCountApp
 from repro.graph.csr import CSRGraph
 from repro.machine.config import MachineConfig, bench_machine
+from repro.machine.simulator import QuiescenceStall
 from repro.observe import make_recorder
 from repro.udweave import UpDownRuntime
 
@@ -71,6 +72,9 @@ def _bench_runtime(
     machine_overrides,
     shards: int = 1,
     parallel: bool = False,
+    faults=None,
+    reliable=False,
+    watchdog_cycles: Optional[float] = None,
 ) -> UpDownRuntime:
     """A fresh recorded-or-not benchmark runtime (shared by all runners)."""
     return UpDownRuntime(
@@ -79,6 +83,9 @@ def _bench_runtime(
         recorder=make_recorder(record),
         shards=shards,
         parallel=parallel,
+        faults=faults,
+        reliable=reliable,
+        watchdog_cycles=watchdog_cycles,
     )
 
 
@@ -86,6 +93,24 @@ def _attach_recorder(extra: Dict[str, Any], rt: UpDownRuntime) -> Dict[str, Any]
     if rt.recorder is not None:
         extra["recorder"] = rt.recorder
     return extra
+
+
+def _check_quiescence(rt: UpDownRuntime, require: bool) -> None:
+    """Fail loudly when a run ends stalled instead of quiesced.
+
+    An empty event heap with live threads still pending is the silent
+    shape of a lost message or credit; harness runs treat it as an error
+    by default rather than reporting a bogus makespan.
+    """
+    stats = rt.sim.stats
+    if require and not stats.quiesced:
+        raise QuiescenceStall(
+            f"run ended without quiescing: {stats.pending_threads} "
+            f"thread(s) still waiting for events (the silent shape of a "
+            f"lost message or credit); pass require_quiescence=False to "
+            f"accept a partial run",
+            rt.sim.stall_dump(),
+        )
 
 
 def run_pagerank(
@@ -99,11 +124,16 @@ def run_pagerank(
     record=None,
     shards: int = 1,
     parallel: bool = False,
+    faults=None,
+    reliable=False,
+    watchdog_cycles: Optional[float] = None,
+    require_quiescence: bool = True,
     **machine_overrides,
 ) -> RunRecord:
     """One PageRank run on a fresh scaled machine; returns its RunRecord."""
     rt = _bench_runtime(
-        nodes, detailed_stats, record, machine_overrides, shards, parallel
+        nodes, detailed_stats, record, machine_overrides, shards, parallel,
+        faults, reliable, watchdog_cycles,
     )
     app = PageRankApp(
         rt, graph, max_degree=max_degree, mem_nodes=mem_nodes,
@@ -111,6 +141,7 @@ def run_pagerank(
     )
     try:
         res = app.run(iterations=iterations, max_events=max_events)
+        _check_quiescence(rt, require_quiescence)
     finally:
         rt.shutdown()
     return RunRecord(
@@ -135,11 +166,16 @@ def run_bfs(
     record=None,
     shards: int = 1,
     parallel: bool = False,
+    faults=None,
+    reliable=False,
+    watchdog_cycles: Optional[float] = None,
+    require_quiescence: bool = True,
     **machine_overrides,
 ) -> RunRecord:
     """One BFS run on a fresh scaled machine; returns its RunRecord."""
     rt = _bench_runtime(
-        nodes, detailed_stats, record, machine_overrides, shards, parallel
+        nodes, detailed_stats, record, machine_overrides, shards, parallel,
+        faults, reliable, watchdog_cycles,
     )
     app = BFSApp(
         rt,
@@ -151,6 +187,7 @@ def run_bfs(
     )
     try:
         res = app.run(root=root, max_events=max_events)
+        _check_quiescence(rt, require_quiescence)
     finally:
         rt.shutdown()
     return RunRecord(
@@ -178,17 +215,23 @@ def run_triangle_count(
     record=None,
     shards: int = 1,
     parallel: bool = False,
+    faults=None,
+    reliable=False,
+    watchdog_cycles: Optional[float] = None,
+    require_quiescence: bool = True,
     **machine_overrides,
 ) -> RunRecord:
     """One TC run on a fresh scaled machine; returns its RunRecord."""
     rt = _bench_runtime(
-        nodes, detailed_stats, record, machine_overrides, shards, parallel
+        nodes, detailed_stats, record, machine_overrides, shards, parallel,
+        faults, reliable, watchdog_cycles,
     )
     app = TriangleCountApp(
         rt, graph, pbmw=pbmw, mem_nodes=mem_nodes, block_size=BENCH_BLOCK_SIZE
     )
     try:
         res = app.run(max_events=max_events)
+        _check_quiescence(rt, require_quiescence)
     finally:
         rt.shutdown()
     return RunRecord(
@@ -210,15 +253,21 @@ def run_ingestion(
     record=None,
     shards: int = 1,
     parallel: bool = False,
+    faults=None,
+    reliable=False,
+    watchdog_cycles: Optional[float] = None,
+    require_quiescence: bool = True,
     **machine_overrides,
 ) -> RunRecord:
     """One ingestion run on a fresh scaled machine; returns its RunRecord."""
     rt = _bench_runtime(
-        nodes, detailed_stats, record, machine_overrides, shards, parallel
+        nodes, detailed_stats, record, machine_overrides, shards, parallel,
+        faults, reliable, watchdog_cycles,
     )
     app = IngestionApp(rt, records, block_words=block_words)
     try:
         res = app.run(max_events=max_events)
+        _check_quiescence(rt, require_quiescence)
     finally:
         rt.shutdown()
     return RunRecord(
@@ -239,17 +288,23 @@ def run_partial_match(
     record=None,
     shards: int = 1,
     parallel: bool = False,
+    faults=None,
+    reliable=False,
+    watchdog_cycles: Optional[float] = None,
+    require_quiescence: bool = True,
     **machine_overrides,
 ) -> RunRecord:
     """One partial-match stream on a fresh scaled machine (latency metric)."""
     rt = _bench_runtime(
-        nodes, detailed_stats, record, machine_overrides, shards, parallel
+        nodes, detailed_stats, record, machine_overrides, shards, parallel,
+        faults, reliable, watchdog_cycles,
     )
     app = PartialMatchApp(rt, patterns)
     try:
         res = app.run_stream(
             records, gap_cycles=gap_cycles, max_events=max_events
         )
+        _check_quiescence(rt, require_quiescence)
     finally:
         rt.shutdown()
     return RunRecord(

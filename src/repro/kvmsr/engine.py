@@ -810,7 +810,56 @@ def _group_assignments(ctx: LaneContext, assignments) -> List[Tuple[int, list]]:
 _FRAMEWORK_CLASSES = (KVMSRMaster, NodeCoordinator, MapperLane, LaneProbe)
 
 
+#: quiescence-poll machinery: a machine executing only these is waiting,
+#: not progressing, so the liveness watchdog must not count them.
+_IDLE_POLL_LABELS = frozenset({
+    "KVMSRMaster::poll_again",
+    "KVMSRMaster::count_done",
+    "NodeCoordinator::count_req",
+    "NodeCoordinator::count_reply",
+    "LaneProbe::probe",
+})
+
+
+def _credit_diagnostics(sim) -> Dict[str, Any]:
+    """Per-job credit accounting for a watchdog stall dump.
+
+    Shows exactly what a lost reduce tuple looks like: ``outstanding``
+    credits that never arrive while the master polls forever.
+    """
+    credits: Dict[int, int] = {}
+    for lane in sim._lanes.values():
+        for key, value in lane.scratchpad.items():
+            if isinstance(key, tuple) and len(key) == 2 and key[0] == "kvr":
+                credits[key[1]] = credits.get(key[1], 0) + value
+    masters = []
+    for lane in sim._lanes.values():
+        for thread in lane.threads.values():
+            if isinstance(thread, KVMSRMaster):
+                seen = credits.get(thread.job_id, 0)
+                masters.append({
+                    "job_id": thread.job_id,
+                    "phase": thread.phase,
+                    "total_emitted": thread.total_emitted,
+                    "reduce_credits_banked": seen,
+                    "outstanding": thread.total_emitted - seen,
+                    "poll_rounds": thread.poll_rounds,
+                })
+    return {
+        "reduce_credits_by_job": credits,
+        "live_masters": masters,
+    }
+
+
 def ensure_registered(runtime: UpDownRuntime) -> None:
-    """Register the KVMSR framework threads with a runtime's program."""
+    """Register the KVMSR framework threads with a runtime's program,
+    and (once per runtime) hook KVMSR's liveness observability into the
+    simulator: the quiescence-poll labels are marked idle for the
+    watchdog, and stall dumps gain per-job reduce-credit accounting."""
     for cls in _FRAMEWORK_CLASSES:
         runtime.register(cls)
+    if not getattr(runtime, "_kvmsr_observability", False):
+        runtime._kvmsr_observability = True  # type: ignore[attr-defined]
+        sim = runtime.sim
+        sim.mark_idle_labels(_IDLE_POLL_LABELS)
+        sim.add_diagnostic_provider("kvmsr_credits", _credit_diagnostics)

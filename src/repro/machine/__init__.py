@@ -9,7 +9,8 @@ from .config import MachineConfig, bench_machine, paper_machine
 from .costs import DEFAULT_COSTS, CLOCK_HZ, CostTable
 from .events import HOST_NWID, NEW_THREAD, MessageRecord
 from .lane import Lane
-from .simulator import SimulationError, Simulator
+from .parallel import ShardWorkerFailed
+from .simulator import QuiescenceStall, SimulationError, Simulator
 from .stats import SimStats
 
 __all__ = [
@@ -25,5 +26,7 @@ __all__ = [
     "Lane",
     "Simulator",
     "SimulationError",
+    "QuiescenceStall",
+    "ShardWorkerFailed",
     "SimStats",
 ]

@@ -176,6 +176,22 @@ class MachineConfig:
         )
 
     @property
+    def default_ack_timeout_cycles(self) -> float:
+        """Default retransmit timeout for reliable delivery.
+
+        Four times the remote round trip (data out + ack back, each
+        paying ``remote_msg_latency_cycles`` of base latency): the slack
+        over the unloaded round trip absorbs injection-queue congestion,
+        which on the scaled bench machines routinely adds several
+        thousand cycles — with a tight (2x) timeout most retransmits are
+        spurious duplicates of messages already in flight.  Recovery of
+        a genuinely dropped message costs one timeout; lower it through
+        ``repro.faults.ReliabilityConfig`` when modeling latency-
+        sensitive recovery.
+        """
+        return 8.0 * float(self.remote_msg_latency_cycles)
+
+    @property
     def conservative_lookahead_cycles(self) -> float:
         """Safe epoch window for conservative parallel execution.
 

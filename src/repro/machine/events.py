@@ -70,6 +70,7 @@ class MessageRecord:
         "src_network_id",
         "kind",
         "label_id",
+        "rdt",
     )
 
     def __init__(
@@ -82,6 +83,7 @@ class MessageRecord:
         src_network_id: Optional[int] = None,
         kind: str = "msg",
         label_id: int = UNRESOLVED_LABEL,
+        rdt: Optional[Tuple[Any, ...]] = None,
     ) -> None:
         self.network_id = network_id
         self.thread = thread
@@ -92,6 +94,12 @@ class MessageRecord:
         #: tag used by statistics ("msg" or "dram"); has no semantic effect.
         self.kind = kind
         self.label_id = label_id
+        #: reliable-delivery tag (``repro.faults.transport``): ``None``
+        #: for ordinary traffic, else ``("d", src, seq)`` data /
+        #: ``("a", receiver, seq)`` ack / ``("t", dst, seq, attempt)``
+        #: retransmit timer.  The dispatcher intercepts tagged records
+        #: before label resolution.
+        self.rdt = rdt
 
     def __reduce__(self):
         # Boundary batches between shard workers pickle one record per
@@ -108,6 +116,7 @@ class MessageRecord:
                 self.src_network_id,
                 self.kind,
                 self.label_id,
+                self.rdt,
             ),
         )
 

@@ -81,7 +81,11 @@ class MemorySystem:
     BANK_INTERLEAVE = 256
 
     def __init__(
-        self, config: MachineConfig, banks_per_node: int = 1, recorder=None
+        self,
+        config: MachineConfig,
+        banks_per_node: int = 1,
+        recorder=None,
+        faults=None,
     ) -> None:
         if banks_per_node < 1:
             raise ValueError("need at least one bank per node")
@@ -90,6 +94,14 @@ class MemorySystem:
         self._channels: Dict[tuple, MemoryChannel] = {}
         #: flight recorder for channel telemetry, or None (the off tier).
         self.recorder = recorder
+        #: per-node bandwidth degradation factors from a fault plan
+        #: (``repro.faults.FaultPlan.dram_bandwidth_factors``), or None —
+        #: the healthy machine costs one pointer test per access.
+        self._dram_factors = (
+            faults.dram_factors(config.nodes)
+            if faults is not None and faults.dram_bandwidth_factors
+            else None
+        )
 
     def channel(self, node: int, bank: int = 0) -> MemoryChannel:
         key = (node, bank)
@@ -119,6 +131,9 @@ class MemorySystem:
         bw = cfg.node_dram_bytes_per_cycle / self.banks_per_node
         if requester_node != memory_node:
             bw *= cfg.remote_dram_bandwidth_ratio
+        factors = self._dram_factors
+        if factors is not None:
+            bw *= factors[memory_node]
         bank = self._bank_of(local_offset)
         result = self.channel(memory_node, bank).service(
             t_arrive, nbytes, bw, float(cfg.dram_latency_cycles)

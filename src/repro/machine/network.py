@@ -13,15 +13,27 @@ with 0.5 µs cross-node latency, 4 TB/s per-node injection bandwidth, and
   sends queue behind each other at ``message_bytes / injection_bw``
   occupancy, modeling injection-bandwidth saturation;
 * optional seeded latency jitter supports failure-injection tests that
-  check applications tolerate message reordering.
+  check applications tolerate message reordering;
+* deterministic *fault* perturbations (drop / duplicate / extra delay,
+  from a ``repro.faults.FaultPlan``) are applied here too — see
+  :meth:`Network.fault_delivery` — so every faulty delivery is still
+  charged through the same injection-channel cost model.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from .config import MachineConfig
+
+#: message-fault codes a ``repro.faults.FaultPlan`` hands the machine.
+#: Defined here (the bottom of the dependency stack) because both the
+#: fault plan and the simulator's send path speak them.
+FAULT_NONE: int = 0
+FAULT_DROP: int = 1
+FAULT_DUPLICATE: int = 2
+FAULT_DELAY: int = 3
 
 
 class InjectionChannel:
@@ -188,6 +200,46 @@ class Network:
                 t_issue, occupancy, nbytes, recorder, src_node
             )
         return departed + transit_cycles
+
+    # ------------------------------------------------------------------
+    # Fault perturbations (repro.faults)
+    # ------------------------------------------------------------------
+
+    def fault_delivery(
+        self,
+        code: int,
+        t_issue: float,
+        src_node: int,
+        dst_node: int,
+        nbytes: int,
+        extra_delay_cycles: float,
+    ) -> Tuple[Optional[float], Optional[float]]:
+        """Delivery times for a remote message the fault plan perturbed.
+
+        Returns ``(t_deliver, t_dup)``:
+
+        * ``FAULT_DROP`` → ``(None, None)``.  The message still occupies
+          the source injection port — the bytes left the node before the
+          fabric lost them — so a drop is never cheaper than a delivery.
+        * ``FAULT_DUPLICATE`` → both times set: the spurious copy is a
+          second full transfer, re-admitted through the injection channel
+          behind the original (duplicates consume real bandwidth).
+        * ``FAULT_DELAY`` → ``(t_deliver + extra_delay_cycles, None)``:
+          the message took a congested path; the extra cycles ride on top
+          of the normal cost-model delivery time.
+
+        Faults only ever *delay or remove* deliveries relative to the
+        fault-free schedule — never accelerate them — which is what keeps
+        the conservative-lookahead window bound of sharded execution
+        valid under any fault plan.
+        """
+        t_deliver = self.deliver_time(t_issue, src_node, dst_node, nbytes)
+        if code == FAULT_DROP:
+            return None, None
+        if code == FAULT_DUPLICATE:
+            t_dup = self.deliver_time(t_issue, src_node, dst_node, nbytes)
+            return t_deliver, t_dup
+        return t_deliver + extra_delay_cycles, None
 
     # ------------------------------------------------------------------
     # Shard state exchange (repro.machine.parallel)

@@ -71,7 +71,30 @@ import pickle
 import traceback
 from typing import Any, Dict, List, Optional
 
-from .simulator import SimulationError
+from .simulator import QuiescenceStall, SimulationError
+
+
+class ShardWorkerFailed(SimulationError):
+    """A forked shard worker died instead of answering the coordinator.
+
+    Carries which worker (``shard``, ``None`` when only the pipe end is
+    known), its ``exitcode``, and the last epoch ``window`` the pool
+    completed before the failure — the point to restart analysis from.
+    The pool is torn down before this is raised; no orphaned workers or
+    open pipes remain.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: Optional[int] = None,
+        exitcode: Optional[int] = None,
+        window: Optional[tuple] = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.exitcode = exitcode
+        self.window = window
 
 
 def _dumps(obj: Any) -> bytes:
@@ -192,6 +215,7 @@ class ShardScheduler(_ShardRouter):
                 if budget is not None:
                     budget -= stats.events_executed - before
         self._flush_host()
+        sim._note_quiescence()
         return stats
 
     def close(self) -> None:
@@ -232,6 +256,9 @@ class ParallelExecutor(_ShardRouter):
         self._recorder_base: Optional[Dict[str, Any]] = None
         self._fork_token = None
         self._broken = False
+        #: last fully exchanged epoch window ``(T, T + lookahead)`` —
+        #: named in :class:`ShardWorkerFailed` when a worker dies.
+        self._last_window: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Parent side
@@ -246,6 +273,13 @@ class ParallelExecutor(_ShardRouter):
             )
         if self._procs is None:
             self._fork()
+        elif any(proc.exitcode is not None for proc in self._procs):
+            # A worker died between drains (OOM kill, crash during a
+            # previous abort path): fail loudly now, not with a hung
+            # pipe read mid-window.
+            err = self._dead_worker_error()
+            self._abort()
+            raise err
         elif (
             sim._setup_token is not None
             and sim._setup_token() != self._fork_token
@@ -285,6 +319,7 @@ class ParallelExecutor(_ShardRouter):
             for conn in conns:
                 conn.send(("run", until, budget))
             outs = [self._recv(conn, "out") for conn in conns]
+            self._last_window = (t_next, until)
             if budget is not None:
                 budget -= sum(out[4] for out in outs)
                 if budget <= 0:
@@ -292,10 +327,27 @@ class ParallelExecutor(_ShardRouter):
                     raise SimulationError(
                         f"simulation exceeded max_events={max_events}"
                     )
+            wd = sim._watchdog_cycles
+            if wd is not None:
+                # Workers run the watchdog in report-only mode (a raise
+                # inside one shard would desynchronize the window
+                # protocol); the parent aggregates their progress marks
+                # and is the one that raises, with per-shard dumps.
+                progress = max(out[5] for out in outs)
+                if until - progress > wd:
+                    dump = self._collect_diagnostics()
+                    self._abort()
+                    raise QuiescenceStall(
+                        f"no application progress for "
+                        f"{until - progress:.0f} cycles (watchdog "
+                        f"threshold {wd:.0f}) across {self.shards} shard "
+                        f"workers; only idle/control events are executing",
+                        dump,
+                    )
             in_blobs: List[List[bytes]] = [[] for _ in range(self.shards)]
             wlog_blobs: List[tuple] = []
             for shard, out in enumerate(outs):
-                _tag, out_list, host_blob, wlog_blob, _executed = out
+                _tag, out_list, host_blob, wlog_blob, _executed, _prog = out
                 for target, blob in enumerate(out_list):
                     if blob is not None:
                         in_blobs[target].append(blob)
@@ -327,8 +379,13 @@ class ParallelExecutor(_ShardRouter):
         try:
             msg = conn.recv()
         except EOFError:
+            # The pipe closed without a reply: the worker process died
+            # (OOM kill, segfault in an extension, os._exit).  Name the
+            # dead shard and the last completed window, then tear the
+            # rest of the pool down so nothing daemonic lingers.
+            err = self._dead_worker_error()
             self._abort()
-            raise SimulationError("shard worker died unexpectedly") from None
+            raise err from None
         if msg[0] == "error":
             failure = msg[1]
             self._abort()
@@ -339,6 +396,54 @@ class ParallelExecutor(_ShardRouter):
                 f"protocol error: expected {expected!r}, got {msg[0]!r}"
             )
         return msg
+
+    def _dead_worker_error(self) -> ShardWorkerFailed:
+        """Build the :class:`ShardWorkerFailed` naming the dead shard."""
+        dead = []
+        for shard, proc in enumerate(self._procs or []):
+            proc.join(timeout=0.5)
+            if proc.exitcode is not None:
+                dead.append((shard, proc.exitcode))
+        window = self._last_window
+        if window is not None:
+            where = (
+                f"after completing window "
+                f"[{window[0]:.0f}, {window[1]:.0f})"
+            )
+        else:
+            where = "before completing any window"
+        if dead:
+            shard, exitcode = dead[0]
+            return ShardWorkerFailed(
+                f"shard {shard} worker died (exit code {exitcode}) "
+                f"{where}; remaining workers were shut down",
+                shard=shard,
+                exitcode=exitcode,
+                window=window,
+            )
+        return ShardWorkerFailed(
+            f"a shard worker closed its pipe without replying {where}; "
+            f"remaining workers were shut down",
+            window=window,
+        )
+
+    def _collect_diagnostics(self) -> Dict[str, Any]:
+        """Best-effort per-shard stall dumps for a watchdog report.
+
+        Workers that fail to answer (already wedged or dead) are
+        reported as unavailable rather than blocking the raise.
+        """
+        dumps: Dict[str, Any] = {}
+        for shard, conn in enumerate(self._conns or []):
+            try:
+                conn.send(("diag",))
+                msg = conn.recv()
+                dumps[f"shard_{shard}"] = (
+                    msg[1] if msg[0] == "diag" else f"unexpected {msg[0]!r}"
+                )
+            except Exception:
+                dumps[f"shard_{shard}"] = "unavailable (worker not responding)"
+        return dumps
 
     def _fork(self) -> None:
         sim = self.sim
@@ -403,6 +508,11 @@ class ParallelExecutor(_ShardRouter):
                 if part is not None:
                     recorder.merge_from(part)
             recorder.sort_timelines()
+        # quiescence verdict: every shard heap is empty at drain end by
+        # construction, so live threads are the whole story
+        pending = sum(final["pending"] for final in finals)
+        stats.pending_threads = pending
+        stats.quiesced = pending == 0
         self._flush_host()
 
     def close(self) -> None:
@@ -475,6 +585,9 @@ class ParallelExecutor(_ShardRouter):
         sim = self.sim
         shards = self.shards
         sim._scheduler = None  # this process is a plain windowed drainer
+        # a raise inside one worker would wedge the window protocol; the
+        # parent aggregates progress marks and raises QuiescenceStall
+        sim._wd_report_only = True
         sim._heap = heap = []
         heappush = heapq.heappush
         outbox: List[list] = [[] for _ in range(shards)]
@@ -548,6 +661,7 @@ class ParallelExecutor(_ShardRouter):
                 conn.send((
                     "out", out_blobs, host_blob, wlog_blob,
                     stats.events_executed - before,
+                    sim._wd_last_progress,
                 ))
             elif op == "in":
                 _op, in_blobs, wlog_blobs = msg
@@ -593,6 +707,7 @@ class ParallelExecutor(_ShardRouter):
                         sim.trace[trace_base:] if sim.trace_enabled else []
                     ),
                     "recorder": sim.recorder if had_recorder else None,
+                    "pending": sim._live_threads(),
                 }
                 conn.send(("final", payload))
                 stats_base = stats.scalar_snapshot()
@@ -601,6 +716,8 @@ class ParallelExecutor(_ShardRouter):
                     len(hostlog.entries) if hostlog is not None else 0
                 )
                 trace_base = len(sim.trace)
+            elif op == "diag":
+                conn.send(("diag", sim.stall_dump()))
             elif op == "exit":
                 return
             else:
@@ -613,6 +730,8 @@ def _rebind_recorder(sim, fresh) -> None:
     sim.recorder = fresh
     if old.record_messages:
         sim._rec_msg = fresh.message
+    if old.record_faults:
+        sim._rec_fault = fresh.fault
     if old.record_channels:
         sim.network.recorder = fresh
         sim.memory.recorder = fresh

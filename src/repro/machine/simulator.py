@@ -60,6 +60,44 @@ class SimulationError(RuntimeError):
     """Raised for malformed programs (bad target, missing dispatcher, ...)."""
 
 
+class QuiescenceStall(SimulationError):
+    """The machine stopped making progress while threads are pending.
+
+    Raised by the liveness watchdog (``watchdog_cycles=``) when only
+    idle-marked events (KVMSR quiescence polls, retransmit timers) have
+    executed for longer than the threshold of *simulated* time, and by
+    harness runners when a drain ends with an empty heap but live
+    threads — the silent-hang shape a lost message or credit produces.
+
+    ``diagnostic`` carries :meth:`Simulator.stall_dump`: the next queued
+    events, blocked threads, and whatever the registered diagnostic
+    providers report (KVMSR contributes outstanding reduce credits).
+    """
+
+    def __init__(self, message: str, diagnostic: Optional[dict] = None):
+        if diagnostic:
+            message = message + "\n" + _render_dump(diagnostic)
+        super().__init__(message)
+        self.diagnostic = diagnostic or {}
+
+
+def _render_dump(dump: dict, indent: str = "  ") -> str:
+    """Human-readable rendering of a stall diagnostic dump."""
+    lines = []
+    for key, value in dump.items():
+        if isinstance(value, dict):
+            lines.append(f"{indent}{key}:")
+            for k, v in value.items():
+                lines.append(f"{indent}  {k}: {v!r}")
+        elif isinstance(value, (list, tuple)):
+            lines.append(f"{indent}{key}:")
+            for item in value:
+                lines.append(f"{indent}  - {item!r}")
+        else:
+            lines.append(f"{indent}{key}: {value!r}")
+    return "\n".join(lines)
+
+
 class Simulator:
     """Event-driven simulation of one UpDown machine.
 
@@ -82,6 +120,8 @@ class Simulator:
         recorder=None,
         shards: int = 1,
         parallel: bool = False,
+        faults=None,
+        watchdog_cycles: Optional[float] = None,
     ) -> None:
         self.config = config
         self.dispatcher = dispatcher
@@ -100,7 +140,10 @@ class Simulator:
             recorder=channel_rec,
         )
         self.memory = MemorySystem(
-            config, banks_per_node=memory_banks_per_node, recorder=channel_rec
+            config,
+            banks_per_node=memory_banks_per_node,
+            recorder=channel_rec,
+            faults=faults,
         )
         self.stats = SimStats(detailed=detailed_stats)
         #: collect per-label event histograms (``stats.events_by_label``).
@@ -178,6 +221,54 @@ class Simulator:
             if recorder is not None and recorder.record_messages
             else None
         )
+        # --- fault injection (repro.faults.FaultPlan) -----------------
+        #: the attached fault plan, or None.  Each fault class gets its
+        #: own pre-resolved hook (method pointer or per-node table) so a
+        #: fault-free machine pays one pointer test per decision point —
+        #: the same zero-cost-off discipline as the recorder.
+        self.faults = faults
+        if faults is not None:
+            self._fault_msg = (
+                faults.message_fault if faults.has_message_faults else None
+            )
+            self._fault_delay = faults.delay_cycles
+            self._fault_stall = (
+                faults.lane_stall if faults.has_lane_stalls else None
+            )
+            self._fault_dead = (
+                faults.dead_ticks(config.nodes) if faults.fail_stop else None
+            )
+        else:
+            self._fault_msg = None
+            self._fault_delay = 0.0
+            self._fault_stall = None
+            self._fault_dead = None
+        self._rec_fault = (
+            recorder.fault
+            if recorder is not None and recorder.record_faults
+            else None
+        )
+        # --- reliable delivery (repro.faults.ReliableTransport) -------
+        #: installed by the UDWeave runtime when ``reliable=`` is set;
+        #: None costs one pointer test per send.
+        self._transport = None
+        # --- liveness watchdog ----------------------------------------
+        #: raise :class:`QuiescenceStall` when only idle-marked events
+        #: execute for this many *simulated* cycles; None disables.
+        self._watchdog_cycles = (
+            float(watchdog_cycles) if watchdog_cycles is not None else None
+        )
+        if self._watchdog_cycles is not None and self._watchdog_cycles <= 0:
+            raise SimulationError("watchdog_cycles must be positive")
+        #: labels that do not count as forward progress (KVMSR quiescence
+        #: polls, retransmit timers); populated via :meth:`mark_idle_labels`.
+        self._wd_idle_labels: set = set()
+        self._wd_last_progress: float = 0.0
+        #: forked shard workers observe only their own shard's events, so
+        #: they report progress to the coordinator instead of raising.
+        self._wd_report_only: bool = False
+        #: (name, fn(sim) -> data) providers consulted by :meth:`stall_dump`.
+        self._diag_providers: List[tuple] = []
 
     # ------------------------------------------------------------------
     # Topology
@@ -229,6 +320,86 @@ class Simulator:
             self._recorder_rebinders.append(recorder_rebind)
         if setup_token is not None:
             self._setup_token = setup_token
+
+    # ------------------------------------------------------------------
+    # Liveness watchdog & diagnostics
+    # ------------------------------------------------------------------
+
+    def attach_transport(self, transport) -> None:
+        """Install a reliable-delivery layer (``repro.faults.transport``).
+
+        Must happen before any tracked traffic is sent; the transport's
+        control labels are marked idle for the watchdog.
+        """
+        self._transport = transport
+        from repro.faults.transport import IDLE_CONTROL_LABELS
+
+        self._wd_idle_labels |= IDLE_CONTROL_LABELS
+
+    def mark_idle_labels(self, labels) -> None:
+        """Declare event labels that do not prove forward progress.
+
+        The watchdog measures simulated time since the last *non-idle*
+        event; frameworks register their busy-wait labels here (KVMSR's
+        quiescence-poll chain does) so a stuck job spinning on polls
+        raises :class:`QuiescenceStall` instead of running forever.
+        """
+        self._wd_idle_labels |= set(labels)
+
+    def add_diagnostic_provider(self, name: str, provider) -> None:
+        """Register ``provider(sim) -> data`` for :meth:`stall_dump`."""
+        self._diag_providers.append((name, provider))
+
+    def _live_threads(self) -> int:
+        return sum(len(ln.threads) for ln in self._lanes.values())
+
+    def stall_dump(self, limit: int = 8) -> dict:
+        """Diagnostic snapshot for a stalled machine.
+
+        Covers the three things a hung run needs triaged: what is still
+        *in flight* (the next queued events), what is still *waiting*
+        (live threads per lane), and whatever registered providers know
+        about protocol state (KVMSR reports outstanding reduce credits).
+        """
+        next_events = [
+            (t, dest, getattr(r, "label", type(r).__name__))
+            for t, dest, _seq, r in heapq.nsmallest(limit, self._heap)
+        ]
+        blocked = []
+        for nwid in sorted(self._lanes):
+            ln = self._lanes[nwid]
+            for tid in sorted(ln.threads):
+                if len(blocked) >= 2 * limit:
+                    break
+                blocked.append((nwid, tid, type(ln.threads[tid]).__name__))
+        dump = {
+            "now": self.now,
+            "last_progress_tick": self._wd_last_progress,
+            "watchdog_cycles": self._watchdog_cycles,
+            "heap_events": len(self._heap),
+            "next_events": next_events,
+            "pending_threads": self._live_threads(),
+            "blocked_threads": blocked,
+        }
+        for name, provider in self._diag_providers:
+            try:
+                dump[name] = provider(self)
+            except Exception as exc:  # diagnostics must never mask the stall
+                dump[name] = f"<diagnostic provider failed: {exc!r}>"
+        return dump
+
+    def _note_quiescence(self) -> None:
+        """Record whether the machine drained to true quiescence.
+
+        Quiesced = nothing left to deliver *and* nothing left waiting.
+        An empty heap with live threads is the silent-hang shape (a lost
+        message or credit): callers distinguish it via ``stats.quiesced``
+        / ``stats.pending_threads`` instead of a silent return.
+        """
+        pending = self._live_threads()
+        stats = self.stats
+        stats.pending_threads = pending
+        stats.quiesced = not self._heap and pending == 0
 
     # ------------------------------------------------------------------
     # Message transport
@@ -302,10 +473,15 @@ class Simulator:
                 f"networkID {nwid} out of range [0, {self._total_lanes})"
             )
         dst_node = nwid // self._lanes_per_node
-        t_deliver = self._deliver_time(
-            t_issue, src_node, dst_node, self._message_bytes
-        )
-        self._push(t_deliver, record, actor)
+        if self._transport is None and self._fault_msg is None:
+            t_deliver = self._deliver_time(
+                t_issue, src_node, dst_node, self._message_bytes
+            )
+            self._push(t_deliver, record, actor)
+        else:
+            t_deliver = self._send_guarded(
+                record, t_issue, src_node, dst_node, actor, src_nwid
+            )
         stats.messages_sent += 1
         if self.trace_enabled:
             self.trace.append(
@@ -327,8 +503,92 @@ class Simulator:
                 rec_msg("local", t_deliver - t_issue)
         else:
             stats.messages_remote += 1
-            if rec_msg is not None:
+            # Dropped messages (t_deliver == inf) still count as remote
+            # traffic — the taxonomy partition of ``messages_sent`` holds
+            # under faults — but have no latency to histogram.
+            if rec_msg is not None and t_deliver != math.inf:
                 rec_msg("remote", t_deliver - t_issue)
+        return t_deliver
+
+    def _send_guarded(
+        self,
+        record: MessageRecord,
+        t_issue: float,
+        src_node: Optional[int],
+        dst_node: int,
+        actor: int,
+        src_nwid: Optional[int],
+    ) -> float:
+        """The :meth:`send` delivery step with transport and/or faults on.
+
+        Split out of :meth:`send` so the healthy fast path stays two
+        pointer tests; this path runs only when a
+        :class:`~repro.faults.ReliableTransport` is attached or the fault
+        plan perturbs messages.  Returns the primary delivery time, or
+        ``math.inf`` for a dropped message (the trace records the ``inf``,
+        marking the drop; callers treat the send as fire-and-forget
+        either way).
+        """
+        remote = src_node is not None and src_node != dst_node
+        transport = self._transport
+        if (
+            transport is not None
+            and remote
+            and record.rdt is None
+            and src_nwid is not None
+            and src_nwid >= 0
+        ):
+            # Lane-to-lane remote data: assign a sequence number, remember
+            # the record for retransmit, arm the timeout timer.  Acks,
+            # retransmits, and timers carry ``rdt`` already and are never
+            # re-tracked; node-actor and host traffic has no source lane
+            # scratchpad to track in and stays best-effort.
+            transport.track(record, t_issue)
+        fmsg = self._fault_msg
+        code = 0
+        if fmsg is not None and remote:
+            # Keyed off the issuing actor and its private push count —
+            # both fixed at the point of issue — so the draw is identical
+            # run-to-run and across shard counts (each actor lives on
+            # exactly one shard).  Local and host traffic is exempt: the
+            # fault model perturbs the *fabric*.
+            code = fmsg(actor, self._actor_seq.get(actor, 0))
+        if code == 0:
+            t_deliver = self._deliver_time(
+                t_issue, src_node, dst_node, self._message_bytes
+            )
+            self._push(t_deliver, record, actor)
+            return t_deliver
+        t_deliver, t_dup = self.network.fault_delivery(
+            code, t_issue, src_node, dst_node,
+            self._message_bytes, self._fault_delay,
+        )
+        stats = self.stats
+        rec_fault = self._rec_fault
+        if t_deliver is None:
+            # Consume the actor's sequence slot even though nothing is
+            # pushed: the fault draw is keyed on (actor, count), so a
+            # drop that left the count unchanged would make the actor's
+            # next remote send draw the identical value and drop too —
+            # every drop would start a correlated drop burst.
+            seq = self._actor_seq
+            seq[actor] = seq.get(actor, 0) + 1
+            stats.faults_messages_dropped += 1
+            if rec_fault is not None:
+                rec_fault("msg_drop", t_issue, (src_nwid, record.network_id))
+            return math.inf
+        self._push(t_deliver, record, actor)
+        if t_dup is not None:
+            self._push(t_dup, record, actor)
+            stats.faults_messages_duplicated += 1
+            if rec_fault is not None:
+                rec_fault(
+                    "msg_duplicate", t_issue, (src_nwid, record.network_id)
+                )
+        else:
+            stats.faults_messages_delayed += 1
+            if rec_fault is not None:
+                rec_fault("msg_delay", t_issue, (src_nwid, record.network_id))
         return t_deliver
 
     def dram_transaction(
@@ -549,7 +809,9 @@ class Simulator:
 
                 sched = self._scheduler = make_scheduler(self)
             return sched.drain(max_events)
-        return self._drain(max_events, math.inf if until is None else until)
+        stats = self._drain(max_events, math.inf if until is None else until)
+        self._note_quiescence()
+        return stats
 
     def _drain(self, max_events: Optional[int], until: float) -> SimStats:
         """The sequential drain loop over ``self._heap`` (see :meth:`run`)."""
@@ -580,6 +842,15 @@ class Simulator:
         cached_nwid = -1
         cached_lane: Optional[Lane] = None
         processed = 0
+        # Fault/watchdog hooks — all None on a healthy, unwatched machine,
+        # so each costs one pointer test per event.
+        fdead = self._fault_dead
+        fstall = self._fault_stall
+        rec_fault = self._rec_fault
+        wd = self._watchdog_cycles
+        wd_idle = self._wd_idle_labels
+        wd_report = self._wd_report_only
+        wd_last = self._wd_last_progress
         try:
             while heap:
                 first = heap[0]
@@ -601,15 +872,65 @@ class Simulator:
                         continue
                     if nwid >= total_lanes:
                         # Remote DRAM request arriving at its memory node.
+                        if (
+                            fdead is not None
+                            and ev_time >= fdead[rec.memory_node]
+                        ):
+                            # Fail-stopped memory node: the request (and
+                            # any response) vanishes with the node.
+                            stats.faults_node_dropped += 1
+                            if rec_fault is not None:
+                                rec_fault(
+                                    "node_drop", ev_time, (rec.memory_node,)
+                                )
+                            continue
                         self._dram_arrive(ev_time, rec)
+                        if wd is not None and ev_time > wd_last:
+                            wd_last = ev_time
                         continue
                     ln = lanes.get(nwid)
                     if ln is None:
                         ln = lane_of(nwid)
                     cached_nwid = nwid
                     cached_lane = ln
+                if fdead is not None and ev_time >= fdead[ln.node]:
+                    # Whole-node fail-stop: deliveries to a dead node are
+                    # discarded (its lanes, threads, and scratchpads stop
+                    # responding), surfacing as lost messages upstream.
+                    stats.faults_node_dropped += 1
+                    if rec_fault is not None:
+                        rec_fault("node_drop", ev_time, (nwid,))
+                    continue
+                if wd is not None:
+                    if rec.label in wd_idle:
+                        # Only idle/control traffic (poll loops, retry
+                        # timers, acks) — no application progress.  In
+                        # report-only mode (forked shard workers) the
+                        # parent aggregates and raises instead.
+                        if not wd_report and ev_time - wd_last > wd:
+                            self.now = ev_time
+                            raise QuiescenceStall(
+                                f"no application progress for "
+                                f"{ev_time - wd_last:.0f} cycles (watchdog "
+                                f"threshold {wd:.0f}); only idle/control "
+                                f"events are executing",
+                                self.stall_dump(),
+                            )
+                    elif ev_time > wd_last:
+                        wd_last = ev_time
                 busy_until = ln.busy_until
                 start = ev_time if ev_time > busy_until else busy_until
+                if fstall is not None:
+                    stall = fstall(nwid, ln.events_executed)
+                    if stall:
+                        # Transient lane stall: delays this delivery's
+                        # service but is not lane work — busy_cycles (and
+                        # utilization) exclude it; the makespan does not.
+                        start += stall
+                        stats.faults_lane_stalls += 1
+                        stats.faults_stall_cycles += stall
+                        if rec_fault is not None:
+                            rec_fault("lane_stall", ev_time, (nwid, stall))
                 cycles = dispatcher(self, ln, rec, start)
                 # inline Lane.account_execution — one call per event adds up
                 end = start + cycles
@@ -632,6 +953,10 @@ class Simulator:
             stats.events_executed += events_executed
             if final_tick > stats.final_tick:
                 stats.final_tick = final_tick
+            # Watchdog progress survives bounded re-entry (run(until=)
+            # stepping and the shard window loop both call _drain many
+            # times per logical run).
+            self._wd_last_progress = wd_last
             self._sync_lane_stats()
         return stats
 

@@ -50,6 +50,22 @@ class SimStats:
     events_executed: int = 0
     threads_created: int = 0
     threads_terminated: int = 0
+    # -- injected faults (repro.faults.FaultPlan; all zero without one) --
+    faults_messages_dropped: int = 0
+    faults_messages_duplicated: int = 0
+    faults_messages_delayed: int = 0
+    faults_lane_stalls: int = 0
+    faults_stall_cycles: float = 0.0
+    #: events discarded because their destination node had fail-stopped.
+    faults_node_dropped: int = 0
+    # -- reliable delivery (repro.faults.ReliableTransport; opt-in) -----
+    transport_tracked: int = 0
+    transport_retransmits: int = 0
+    transport_acks: int = 0
+    transport_dup_suppressed: int = 0
+    #: sends abandoned after ``max_retries`` retransmits (the watchdog,
+    #: not an unbounded retry storm, reports the resulting stall).
+    transport_give_ups: int = 0
     busy_cycles_by_lane: Dict[int, float] = field(
         default_factory=lambda: defaultdict(float)
     )
@@ -61,6 +77,14 @@ class SimStats:
     detailed: bool = False
     #: final simulated time in cycles (the makespan).
     final_tick: float = 0.0
+    #: whether the last drain ended *quiesced* — event heap empty **and**
+    #: no live threads left waiting for events.  ``False`` distinguishes
+    #: the silent-hang shape (empty heap, threads still pending: a lost
+    #: message or credit) and bounded ``run(until=)`` stops.  Set by the
+    #: drain drivers, not merged from shard deltas.
+    quiesced: bool = False
+    #: live threads remaining after the last drain (0 when quiesced).
+    pending_threads: int = 0
 
     @property
     def total_busy_cycles(self) -> float:
@@ -105,6 +129,17 @@ class SimStats:
             "events_executed": self.events_executed,
             "threads_created": self.threads_created,
             "threads_terminated": self.threads_terminated,
+            "faults_messages_dropped": self.faults_messages_dropped,
+            "faults_messages_duplicated": self.faults_messages_duplicated,
+            "faults_messages_delayed": self.faults_messages_delayed,
+            "faults_lane_stalls": self.faults_lane_stalls,
+            "faults_stall_cycles": self.faults_stall_cycles,
+            "faults_node_dropped": self.faults_node_dropped,
+            "transport_tracked": self.transport_tracked,
+            "transport_retransmits": self.transport_retransmits,
+            "transport_acks": self.transport_acks,
+            "transport_dup_suppressed": self.transport_dup_suppressed,
+            "transport_give_ups": self.transport_give_ups,
             "final_tick": self.final_tick,
         }
 

@@ -58,6 +58,7 @@ class FlightRecorder:
         tier: str = "full",
         max_lane_spans: int = 1_000_000,
         max_channel_events: int = 200_000,
+        max_fault_events: int = 100_000,
     ) -> None:
         if tier not in TIERS:
             raise RecorderError(
@@ -70,6 +71,8 @@ class FlightRecorder:
         self.record_messages = self.record_channels
         self.record_lane_spans = tier == "full"
         self.record_channel_events = tier == "full"
+        #: faults are rare and diagnostic — recorded at every tier.
+        self.record_faults = True
 
         # -- lane timeline (full tier) --------------------------------
         #: (network_id, start, end, label) per executed event, capped.
@@ -99,6 +102,15 @@ class FlightRecorder:
         #: (name, job, t) instant markers (quiescence polls, ...).
         self.marks: List[Tuple[str, Optional[str], float]] = []
         self._open_phases: Dict[Tuple[str, str], float] = {}
+
+        # -- injected faults (every tier) -----------------------------
+        #: per-kind totals (msg_drop, msg_duplicate, msg_delay,
+        #: lane_stall, node_drop, rdt_give_up).
+        self.fault_counts: Dict[str, int] = {}
+        #: (kind, t, detail) per injected fault, capped.
+        self.fault_events: List[Tuple[str, float, tuple]] = []
+        self.fault_events_dropped: int = 0
+        self._max_fault_events = max_fault_events
 
     # ------------------------------------------------------------------
     # Hot hooks (the machine layer calls these; keep them flat)
@@ -188,6 +200,19 @@ class FlightRecorder:
         """Record an instant marker (e.g. one quiescence poll round)."""
         self.marks.append((name, job, t))
 
+    def fault(self, kind: str, t: float, detail: tuple = ()) -> None:
+        """One injected fault taking effect at simulated time ``t``.
+
+        ``detail`` is kind-specific plain data (networkIDs, nodes, stall
+        cycles) for the fault trace; counts are unconditional, the event
+        list is capped like the other timelines.
+        """
+        self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+        if len(self.fault_events) < self._max_fault_events:
+            self.fault_events.append((kind, t, detail))
+        else:
+            self.fault_events_dropped += 1
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -211,6 +236,7 @@ class FlightRecorder:
             self.tier,
             max_lane_spans=self._max_lane_spans,
             max_channel_events=self._max_channel_events,
+            max_fault_events=self._max_fault_events,
         )
 
     def export_state(self) -> Dict[str, Any]:
@@ -238,6 +264,9 @@ class FlightRecorder:
             "phase_spans": list(self.phase_spans),
             "marks": list(self.marks),
             "_open_phases": dict(self._open_phases),
+            "fault_counts": dict(self.fault_counts),
+            "fault_events": list(self.fault_events),
+            "fault_events_dropped": self.fault_events_dropped,
         }
 
     def restore_state(self, state: Dict[str, Any]) -> None:
@@ -257,6 +286,9 @@ class FlightRecorder:
         self.phase_spans = list(state["phase_spans"])
         self.marks = list(state["marks"])
         self._open_phases = dict(state["_open_phases"])
+        self.fault_counts = dict(state["fault_counts"])
+        self.fault_events = list(state["fault_events"])
+        self.fault_events_dropped = state["fault_events_dropped"]
 
     def merge_from(self, other: "FlightRecorder") -> None:
         """Fold another recorder's telemetry into this one.
@@ -293,6 +325,10 @@ class FlightRecorder:
         self.phase_spans.extend(other.phase_spans)
         self.marks.extend(other.marks)
         self._open_phases.update(other._open_phases)
+        for kind, count in other.fault_counts.items():
+            self.fault_counts[kind] = self.fault_counts.get(kind, 0) + count
+        self.fault_events.extend(other.fault_events)
+        self.fault_events_dropped += other.fault_events_dropped
 
     def sort_timelines(self) -> None:
         """Time-order the concatenated per-shard timeline lists.
@@ -306,6 +342,8 @@ class FlightRecorder:
         self.dram_events.sort(key=lambda e: (e[1], e[0]))
         self.phase_spans.sort(key=lambda p: (p[2], p[3], p[0], p[1]))
         self.marks.sort(key=lambda m: (m[2], m[0], m[1] or ""))
+        # detail tuples may mix ints and None; repr keeps the key total.
+        self.fault_events.sort(key=lambda f: (f[1], f[0], repr(f[2])))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

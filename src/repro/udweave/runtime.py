@@ -53,6 +53,9 @@ class UpDownRuntime:
         recorder=None,
         shards: int = 1,
         parallel: bool = False,
+        faults=None,
+        reliable=False,
+        watchdog_cycles: Optional[float] = None,
     ) -> None:
         self.config = config
         self.program = program if program is not None else Program()
@@ -69,6 +72,8 @@ class UpDownRuntime:
             recorder=recorder,
             shards=shards,
             parallel=parallel,
+            faults=faults,
+            watchdog_cycles=watchdog_cycles,
         )
         self.gmem = GlobalMemory(config)
         self.spalloc = SpAllocator(sp_capacity_words)
@@ -96,6 +101,21 @@ class UpDownRuntime:
         #: appends in place so the list identity is stable for the
         #: runtime's lifetime and the dispatcher skips one attribute hop.
         self._handler_table = self.program.handler_table
+        #: opt-in reliable delivery (``repro.faults.transport``).
+        #: ``reliable`` accepts ``True`` (defaults) or a
+        #: :class:`~repro.faults.ReliabilityConfig`; the transport is
+        #: shared with the simulator, which hands it every outbound
+        #: remote lane-to-lane send for tracking.
+        self.transport = None
+        if reliable:
+            from repro.faults.transport import (
+                ReliabilityConfig,
+                ReliableTransport,
+            )
+
+            rcfg = reliable if isinstance(reliable, ReliabilityConfig) else None
+            self.transport = ReliableTransport(self.sim, rcfg)
+            self.sim.attach_transport(self.transport)
 
     # ------------------------------------------------------------------
     # Program construction
@@ -276,6 +296,24 @@ class UpDownRuntime:
     def _dispatch(
         self, sim: Simulator, lane: Lane, record: MessageRecord, start: float
     ) -> float:
+        # Reliable-delivery interception (repro.faults.transport): tagged
+        # records never reach label resolution as-is — acks and timers
+        # are pure protocol, data records pay dedup + ack before (or
+        # instead of, for suppressed duplicates) handler execution.
+        rdt = record.rdt
+        if rdt is not None:
+            transport = self.transport
+            tag = rdt[0]
+            if tag == "d":
+                duplicate, pre = transport.on_data(lane, record, start)
+                if duplicate:
+                    return pre
+            elif tag == "a":
+                return transport.on_ack(lane, record)
+            else:
+                return transport.on_timer(lane, record, start)
+        else:
+            pre = 0.0
         # Interned fast path: records built by this runtime carry the
         # label id resolved at send time; hand-built records (tests) fall
         # back to string resolution.
@@ -311,6 +349,10 @@ class UpDownRuntime:
             )
         else:
             ctx._reset(thread_obj, tid, record, start)
+        if pre:
+            # receiver-side transport work (dedup probe + ack send)
+            # charged to the same lane occupancy as the delivery
+            ctx.cycles += pre
         func(thread_obj, ctx, *record.operands)
         if ctx.terminated:
             lane.deallocate_thread(tid)

@@ -1,0 +1,134 @@
+"""Liveness watchdogs: lost credits raise QuiescenceStall, not a hang.
+
+The scenario is the one the fault subsystem exists to expose: a dropped
+map->reduce tuple without retry leaves the KVMSR master polling its
+quiescence counters forever (only idle-labeled poll events execute).
+``FaultPlan(seed=1, drop_rate=0.02)`` over this fixed job is known to
+drop a reduce tuple — the draws are content-keyed, so this is stable,
+not flaky.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, QuiescenceStall
+from repro.kvmsr import KVMSRJob, MapTask, RangeInput, ReduceTask, job_of
+from repro.machine import MessageRecord, Simulator, bench_machine
+from repro.machine.events import NEW_THREAD
+from repro.udweave import UpDownRuntime
+
+
+class EmitMap(MapTask):
+    def kv_map(self, ctx, key):
+        self.kv_emit(ctx, key % 5, key)
+        self.kv_map_return(ctx)
+
+
+class Collect(ReduceTask):
+    def kv_reduce(self, ctx, key, value):
+        job_of(ctx, self._job_id).payload.setdefault(key, []).append(value)
+        self.kv_reduce_return(ctx)
+
+
+def run_job(faults=None, reliable=False, watchdog=None, shards=1,
+            parallel=False):
+    rt = UpDownRuntime(
+        bench_machine(nodes=2), faults=faults, reliable=reliable,
+        watchdog_cycles=watchdog, shards=shards, parallel=parallel,
+    )
+    sink = {}
+    job = KVMSRJob(
+        rt, EmitMap, RangeInput(60), reduce_cls=Collect, payload=sink
+    )
+    job.launch()
+    try:
+        stats = rt.run(max_events=2_000_000)
+    finally:
+        rt.shutdown()
+    return rt, sink, stats
+
+
+LOSSY = dict(faults=FaultPlan(seed=1, drop_rate=0.02), watchdog=30_000.0)
+
+
+class TestLostCredit:
+    def test_clean_run_quiesces_under_watchdog(self):
+        _rt, sink, stats = run_job(watchdog=30_000.0)
+        assert stats.quiesced and stats.pending_threads == 0
+        assert sum(len(v) for v in sink.values()) == 60
+
+    def test_lost_reduce_credit_raises_instead_of_spinning(self):
+        with pytest.raises(QuiescenceStall, match="idle/control"):
+            run_job(**LOSSY)
+
+    def test_stall_dump_names_the_missing_credits(self):
+        try:
+            run_job(**LOSSY)
+        except QuiescenceStall as exc:
+            dump = exc.diagnostic
+        else:
+            pytest.fail("expected QuiescenceStall")
+        assert dump["pending_threads"] > 0
+        masters = dump["kvmsr_credits"]["live_masters"]
+        assert len(masters) == 1
+        (master,) = masters
+        assert master["phase"] == "reduce"
+        assert master["outstanding"] > 0
+        assert master["reduce_credits_banked"] < master["total_emitted"]
+        # triage context: what is still waiting (the poll event that
+        # tripped the watchdog was already popped, so the heap itself
+        # may be momentarily empty)
+        assert dump["blocked_threads"]
+        assert dump["watchdog_cycles"] == 30_000.0
+
+    def test_reliable_delivery_cures_the_same_plan(self):
+        _rt, golden, _ = run_job()
+        _rt, sink, stats = run_job(reliable=True, **LOSSY)
+        assert stats.faults_messages_dropped > 0
+        assert stats.transport_retransmits > 0
+        assert stats.quiesced
+        assert {k: sorted(v) for k, v in sink.items()} == {
+            k: sorted(v) for k, v in golden.items()
+        }
+
+    def test_parent_side_watchdog_catches_stalled_shard_workers(self):
+        """Forked workers run report-only; the parent aggregates their
+        progress marks, raises, and attaches per-shard dumps."""
+        with pytest.raises(QuiescenceStall, match="shard workers") as info:
+            run_job(parallel=True, shards=2, **LOSSY)
+        dump = info.value.diagnostic
+        assert set(dump) == {"shard_0", "shard_1"}
+        credits = [
+            m
+            for shard_dump in dump.values()
+            if isinstance(shard_dump, dict)
+            for m in shard_dump["kvmsr_credits"]["live_masters"]
+        ]
+        assert any(m["outstanding"] > 0 for m in credits)
+
+
+class TestQuiescedVersusStalled:
+    def test_bounded_run_is_not_quiesced(self):
+        """An ``until=`` window leaves the heap populated: not quiesced."""
+        sim = Simulator(
+            bench_machine(nodes=1),
+            dispatcher=lambda sim, lane, record, start: 1.0,
+        )
+        for t in (10.0, 20.0, 30.0):
+            sim.inject(MessageRecord(0, NEW_THREAD, "e"), t=t)
+        sim.run(until=15.0)
+        assert not sim.stats.quiesced
+        sim.run()
+        assert sim.stats.quiesced
+
+    def test_harness_runners_assert_quiescence_by_default(self):
+        from repro.harness.runner import _check_quiescence
+
+        rt, _sink, stats = run_job()
+        assert stats.quiesced
+        _check_quiescence(rt, require=True)  # clean run: no raise
+        # forge the silent-hang shape and check both policies
+        stats.quiesced = False
+        stats.pending_threads = 3
+        _check_quiescence(rt, require=False)  # opted out: accepted
+        with pytest.raises(QuiescenceStall, match="3 thread"):
+            _check_quiescence(rt, require=True)

@@ -304,3 +304,94 @@ class TestShardScheduler:
         sim.run()
         sim.shutdown()
         sim.shutdown()
+
+
+class TestWorkerFailure:
+    """A dead shard worker becomes a clear ShardWorkerFailed, never a
+    hung pipe read, and never an orphaned daemon process."""
+
+    def _suicidal_dispatcher(self):
+        """Executes normally except for the label ``die``, which kills
+        the worker process hosting it (simulating an OOM kill / crash in
+        an extension) — the parent only ever sees the closed pipe."""
+        import os
+
+        def dispatch(sim, lane, record, start):
+            if record.label == "die":
+                os._exit(13)
+            return 2.0
+
+        return dispatch
+
+    def test_worker_death_mid_drain_raises_shard_worker_failed(self):
+        from repro.machine.parallel import ShardWorkerFailed
+
+        sim = Simulator(
+            bench_machine(nodes=2),
+            dispatcher=self._suicidal_dispatcher(),
+            shards=2,
+            parallel=True,
+        )
+        lanes_per_node = sim.config.lanes_per_node
+        sim.inject(MessageRecord(0, NEW_THREAD, "ok"), t=0.0)
+        # the fatal event lands on shard 1 (node 1's first lane)
+        sim.inject(MessageRecord(lanes_per_node, NEW_THREAD, "die"), t=10.0)
+        with pytest.raises(ShardWorkerFailed, match="worker died") as info:
+            sim.run()
+        assert info.value.shard == 1
+        assert info.value.exitcode == 13
+        sim.shutdown()
+
+    def test_worker_killed_between_drains_detected_proactively(self):
+        import os
+        import signal
+
+        from repro.machine.parallel import ShardWorkerFailed
+
+        disp = null_dispatcher()
+        sim = Simulator(
+            bench_machine(nodes=2), dispatcher=disp, shards=2, parallel=True
+        )
+        sim.inject(MessageRecord(0, NEW_THREAD, "a"), t=0.0)
+        sim.run()
+        sched = sim._scheduler
+        procs = list(sched._procs)
+        os.kill(procs[0].pid, signal.SIGKILL)
+        procs[0].join(timeout=5)
+        sim.inject(MessageRecord(0, NEW_THREAD, "b"), t=0.0)
+        # detected before any pipe traffic, naming shard and last window
+        with pytest.raises(ShardWorkerFailed, match="shard 0") as info:
+            sim.run()
+        assert info.value.shard == 0
+        assert info.value.window is not None  # a window did complete
+        # the whole pool was torn down: no orphaned daemons
+        for proc in procs:
+            assert not proc.is_alive()
+        sim.shutdown()
+
+    def test_failed_pool_refuses_reuse(self):
+        from repro.machine.parallel import ShardWorkerFailed
+
+        sim = Simulator(
+            bench_machine(nodes=2),
+            dispatcher=self._suicidal_dispatcher(),
+            shards=2,
+            parallel=True,
+        )
+        sim.inject(
+            MessageRecord(sim.config.lanes_per_node, NEW_THREAD, "die"), t=0.0
+        )
+        with pytest.raises(ShardWorkerFailed):
+            sim.run()
+        # lane/thread state died with the workers; a retry would silently
+        # diverge, so the executor bricks itself instead
+        sim.inject(MessageRecord(0, NEW_THREAD, "c"), t=0.0)
+        with pytest.raises(SimulationError, match="no longer usable"):
+            sim.run()
+        sim.shutdown()
+
+    def test_shard_worker_failed_is_exported(self):
+        from repro.machine import ShardWorkerFailed as exported
+        from repro.machine.parallel import ShardWorkerFailed
+
+        assert exported is ShardWorkerFailed
