@@ -19,6 +19,8 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_simcore.py --quick   # CI smoke
     PYTHONPATH=src python benchmarks/bench_simcore.py \
         --label shards4 --shards 4 --parallel   # conservative parallel mode
+    PYTHONPATH=src python benchmarks/bench_simcore.py \
+        --label coalesced --coalesce   # packet-coalescing fabric
 
 Determinism: each workload also records ``final_tick`` and
 ``events_executed``; those must be bit-identical across labels — a
@@ -64,6 +66,7 @@ def _build(
     shards: int,
     parallel: bool,
     explicit_fault_off: bool = False,
+    coalesce: bool = False,
 ):
     """Fresh (runtime, app, run_kwargs) — setup cost excluded from timing.
 
@@ -86,7 +89,10 @@ def _build(
         else {}
     )
     rt = UpDownRuntime(
-        bench_config(nodes), shards=shards, parallel=parallel, **fault_kw
+        bench_config(nodes, coalescing=coalesce),
+        shards=shards,
+        parallel=parallel,
+        **fault_kw,
     )
     if name == "pagerank":
         app = PageRankApp(rt, graph, block_size=BENCH_BLOCK_SIZE)
@@ -108,13 +114,14 @@ def run_workload(
     shards: int = 1,
     parallel: bool = False,
     explicit_fault_off: bool = False,
+    coalesce: bool = False,
 ):
     """Best-of-``repeats`` events/sec for one workload; returns a dict."""
     best = None
     fingerprint = None
     for _ in range(repeats):
         rt, app = _build(
-            name, scale, nodes, shards, parallel, explicit_fault_off
+            name, scale, nodes, shards, parallel, explicit_fault_off, coalesce
         )
         t0 = time.perf_counter()
         try:
@@ -251,6 +258,13 @@ def main(argv=None) -> int:
         help="run shards in forked worker processes (requires --shards > 1)",
     )
     parser.add_argument(
+        "--coalesce",
+        action="store_true",
+        help="enable the packet-coalescing fabric (coalescing=True); "
+        "fingerprints must stay bit-identical to uncoalesced entries — "
+        "coalescing only removes host-side heap traffic, never cost",
+    )
+    parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path"
     )
     parser.add_argument(
@@ -284,6 +298,7 @@ def main(argv=None) -> int:
         "quick": args.quick,
         "shards": args.shards,
         "parallel": args.parallel,
+        "coalesce": args.coalesce,
         "cpu_count": os.cpu_count(),
         "workloads": {},
     }
@@ -298,6 +313,7 @@ def main(argv=None) -> int:
             args.repeats,
             shards=args.shards,
             parallel=args.parallel,
+            coalesce=args.coalesce,
         )
         entry["workloads"][name] = result
         print(
@@ -322,6 +338,18 @@ def main(argv=None) -> int:
                 )
         existing["speedup_after_over_before"] = speedups
         print("speedups:", speedups)
+    if "after" in entries and "coalesced" in entries:
+        speedups = {}
+        for name, coalesced in entries["coalesced"]["workloads"].items():
+            after = entries["after"]["workloads"].get(name)
+            if after and after["events_per_second"]:
+                speedups[name] = round(
+                    coalesced["events_per_second"]
+                    / after["events_per_second"],
+                    2,
+                )
+        existing["speedup_coalesced_over_after"] = speedups
+        print("coalescing speedups:", speedups)
     args.output.write_text(json.dumps(existing, indent=2) + "\n")
     print(f"wrote {args.output}")
     return 0

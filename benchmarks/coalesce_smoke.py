@@ -1,0 +1,115 @@
+"""CI smoke: the packet-coalescing fabric is bit-exact.
+
+Runs one fixed seeded PageRank workload three ways — coalescing off,
+coalescing on (sequential), and coalescing on under a sharded drain —
+and asserts that every always-on scalar counter except the two packet
+counters themselves, the host mailbox, and the functional output are
+identical.  Coalescing only merges host-side heap entries; each member
+record still pays its own lane cost, injection occupancy, and remote
+latency, so any drift here is a correctness bug, not a tuning artifact.
+The packet counters must also satisfy record conservation:
+``packets_sent + records_coalesced == messages_remote``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/coalesce_smoke.py [--shards 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+#: counters that only exist when coalescing is on; stripped before the
+#: cross-mode fingerprint comparison, then checked for conservation
+PACKET_KEYS = ("packets_sent", "records_coalesced")
+
+
+def run_once(coalescing: bool, shards: int = 1):
+    from repro.apps.pagerank import PageRankApp
+    from repro.graph.generators import rmat
+    from repro.harness.runner import BENCH_BLOCK_SIZE, bench_config
+    from repro.udweave import UpDownRuntime
+
+    graph = rmat(9, seed=7)
+    rt = UpDownRuntime(bench_config(4, coalescing=coalescing), shards=shards)
+    app = PageRankApp(rt, graph, block_size=BENCH_BLOCK_SIZE)
+    t0 = time.perf_counter()
+    try:
+        res = app.run(iterations=2)
+    finally:
+        rt.shutdown()
+    seconds = time.perf_counter() - t0
+    mailbox = [(t, rec.label, rec.operands) for t, rec in rt.sim.host_inbox]
+    snapshot = rt.sim.stats.scalar_snapshot()
+    return {
+        "fingerprint": {
+            k: v for k, v in snapshot.items() if k not in PACKET_KEYS
+        },
+        "packets": {k: snapshot.get(k, 0) for k in PACKET_KEYS},
+        "messages_remote": snapshot["messages_remote"],
+        "mailbox": mailbox,
+        "ranks": list(res.ranks),
+        "seconds": seconds,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="shard count for the coalescing-under-sharding run",
+    )
+    args = parser.parse_args(argv)
+
+    off = run_once(coalescing=False)
+    on = run_once(coalescing=True)
+    sharded = run_once(coalescing=True, shards=args.shards)
+
+    failures = []
+    for name, run in (("coalescing on", on), (f"shards={args.shards}", sharded)):
+        if run["fingerprint"] != off["fingerprint"]:
+            diff = {
+                k: (off["fingerprint"][k], run["fingerprint"][k])
+                for k in off["fingerprint"]
+                if off["fingerprint"][k] != run["fingerprint"].get(k)
+            }
+            failures.append(f"{name}: scalar fingerprint diverged: {diff}")
+        if run["mailbox"] != off["mailbox"]:
+            failures.append(f"{name}: host mailbox diverged")
+        if run["ranks"] != off["ranks"]:
+            failures.append(f"{name}: functional output (ranks) diverged")
+        conserved = (
+            run["packets"]["packets_sent"]
+            + run["packets"]["records_coalesced"]
+        )
+        if conserved != run["messages_remote"]:
+            failures.append(
+                f"{name}: record conservation broken — "
+                f"{run['packets']} vs messages_remote="
+                f"{run['messages_remote']}"
+            )
+    if on["packets"]["records_coalesced"] == 0:
+        failures.append(
+            "coalescing never fired — the smoke lost its subject"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    fp = off["fingerprint"]
+    print(
+        f"coalesce smoke OK: off / on / shards={args.shards} bit-identical "
+        f"({fp['events_executed']:,} events, final_tick={fp['final_tick']}); "
+        f"{on['packets']['records_coalesced']:,} of "
+        f"{on['messages_remote']:,} remote records coalesced into "
+        f"{on['packets']['packets_sent']:,} packets; "
+        f"off {off['seconds']:.2f}s, on {on['seconds']:.2f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -177,9 +177,24 @@ class HashBinding(ReduceBinding):
 
     def __init__(self, seed: int = 0):
         self.seed = seed
+        #: the seed's mix is key-independent — computed once, not per
+        #: emit (lane_for runs on every kv_emit)
+        self._seed_mix = splitmix64(seed)
 
     def lane_for(self, key, lanes: LaneSet) -> int:
-        return lanes[(stable_hash(key) ^ splitmix64(self.seed)) % len(lanes)]
+        # splitmix64 open-coded for the dominant int-key case: this runs
+        # once per emitted tuple machine-wide, and the call fan-out
+        # (stable_hash -> splitmix64, __len__, __getitem__) costs more
+        # than the mixing arithmetic.  Bit-identical to stable_hash.
+        if key.__class__ is int:
+            x = (key + 0x9E3779B97F4A7C15) & _MASK64
+            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+            h = x ^ (x >> 31)
+        else:
+            h = stable_hash(key)
+        lst = lanes.lanes
+        return lst[(h ^ self._seed_mix) % len(lst)]
 
 
 class CustomReduceBinding(ReduceBinding):

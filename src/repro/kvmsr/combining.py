@@ -35,20 +35,34 @@ class CombiningCache:
     # -- update -----------------------------------------------------------
 
     def add(self, ctx: LaneContext, key, delta) -> None:
-        """fetch&add: accumulate ``delta`` into ``key``'s cached value."""
-        vk = self._val_key(key)
-        current = ctx.sp_read(vk)
+        """fetch&add: accumulate ``delta`` into ``key``'s cached value.
+
+        Scratchpad traffic is open-coded (charges identical to the
+        ``sp_read``/``sp_write``/``work`` calls it replaces, in the same
+        order): one add runs per emitted tuple machine-wide, so the
+        five-call fan-out was pure dispatch overhead.
+        """
+        vk = ("cc", self.name, key)
+        sp = ctx.lane.scratchpad
+        sp_cost = ctx.costs.scratchpad_access
+        ctx.cycles += sp_cost
+        current = sp.get(vk)
         if current is None:
-            keys: List[Any] = ctx.sp_read(self._keys_key(), None)
+            kk = ("cck", self.name)
+            ctx.cycles += sp_cost
+            keys: List[Any] = sp.get(kk)
             if keys is None:
                 keys = []
             keys.append(key)
-            ctx.sp_write(self._keys_key(), keys)
-            ctx.sp_write(vk, delta)
-            ctx.work(2)  # miss path: insert + key-list append
+            ctx.cycles += sp_cost
+            sp[kk] = keys
+            ctx.cycles += sp_cost
+            sp[vk] = delta
+            ctx.cycles += 2 * ctx.costs.instruction  # miss: insert + append
         else:
-            ctx.sp_write(vk, current + delta)
-            ctx.work(1)  # hit path: one add
+            ctx.cycles += sp_cost
+            sp[vk] = current + delta
+            ctx.cycles += 1 * ctx.costs.instruction  # hit: one add
 
     def get(self, ctx: LaneContext, key, default=None):
         return ctx.sp_read(self._val_key(key), default)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.machine.events import NEW_THREAD, MessageRecord
 from repro.udweave.context import LaneContext
 from repro.udweave.runtime import UpDownRuntime
 from repro.udweave.thread import UDThread, event
@@ -284,8 +285,30 @@ class MapTask(UDThread):
                 f"job {job.name!r} has no reduce phase; kv_emit is invalid"
             )
         lane = job.reduce_binding.lane_for(key, job.reduce_lanes)
-        ctx.work(2)  # hash + lane arithmetic
-        ctx.spawn(lane, job.reduce_entry_label_id, self._job_id, key, *values)
+        # Packet-aware emit, open-coded: the entry label was interned at
+        # job construction and the binding's lanes were range-checked
+        # there, so the resolved fast path feeds the coalescing fabric
+        # without per-tuple lookups or call dispatch.  The two cycle
+        # charges land in the same order as work(2) + spawn_resolved(),
+        # so every simulated timestamp is bit-identical to spawn().
+        costs = ctx.costs
+        ctx.cycles += 2 * costs.instruction  # hash + lane arithmetic
+        ctx.cycles += costs.send_message
+        ln = ctx.lane
+        ctx.sim.send(
+            MessageRecord(
+                lane,
+                NEW_THREAD,
+                job._reduce_entry_label,
+                (self._job_id, key) + values,
+                None,
+                ln.network_id,
+                "msg",
+                job.reduce_entry_label_id,
+            ),
+            ctx.start + ctx.cycles,
+            ln.node,
+        )
         self._emitted += 1
 
     def add_emitted(self, n: int) -> None:
@@ -456,15 +479,18 @@ class MapperLane(UDThread):
         if inflight < max_inflight and next_key < end_key:
             # Spawn-loop hot path: every map task in the whole run is
             # issued here, so hoist the loop invariants (bound methods,
-            # lane id, interned entry label) out of the loop.
-            spawn = ctx.spawn
+            # lane id, interned entry label) out of the loop and use the
+            # pre-resolved spawn — label and lane were validated at job
+            # construction; charged cycles are identical to spawn().
+            spawn = ctx.spawn_resolved
             work = ctx.work
             nwid = ctx.lane.network_id
             label_id = job.map_entry_label_id
+            label_name = job._map_entry_label
             job_id = self.job_id
             done_evw = ctx.self_evw("task_done")
             while inflight < max_inflight and next_key < end_key:
-                spawn(nwid, label_id, job_id, done_evw, next_key)
+                spawn(nwid, label_id, label_name, job_id, done_evw, next_key)
                 next_key += 1
                 inflight += 1
                 work(2)  # loop + bookkeeping

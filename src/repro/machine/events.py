@@ -44,6 +44,11 @@ HOST_NWID: int = -2
 #: label_id sentinel: label not interned; resolve the string instead.
 UNRESOLVED_LABEL: int = -1
 
+#: networkID sentinel: a coalesced fabric packet (:class:`PacketRecord`).
+#: Distinct from every real destination (lanes are ``>= 0``, the host is
+#: ``-2``), so the drain loop can recognize packets with one comparison.
+PACKET_NWID: int = -3
+
 
 class MessageRecord:
     """One event message on the wire.
@@ -144,6 +149,110 @@ class MessageRecord:
             f"MessageRecord(network_id={self.network_id}, "
             f"thread={self.thread}, label={self.label!r}, "
             f"operands={self.operands!r}, continuation={self.continuation!r})"
+        )
+
+
+def _packet_from_rows(window_end, cursor, rows):
+    """Rebuild a :class:`PacketRecord` from flattened member rows.
+
+    Pickle reconstructor for cross-shard boundary batches: one
+    constructor call per *packet* plus one cheap ``MessageRecord``
+    build per member, instead of one generic ``__reduce__`` round trip
+    per record.
+    """
+    pkt = PacketRecord(window_end)
+    pkt.cursor = cursor
+    members = pkt.members
+    append = members.append
+    for (
+        t,
+        dest,
+        seq,
+        thread,
+        label,
+        operands,
+        continuation,
+        src_network_id,
+        kind,
+        label_id,
+        rdt,
+    ) in rows:
+        append(
+            (
+                t,
+                dest,
+                seq,
+                MessageRecord(
+                    dest,
+                    thread,
+                    label,
+                    operands,
+                    continuation,
+                    src_network_id,
+                    kind,
+                    label_id,
+                    rdt,
+                ),
+            )
+        )
+    return pkt
+
+
+class PacketRecord:
+    """A coalesced batch of remote :class:`MessageRecord` deliveries.
+
+    Purely a *host-side* optimization: remote records from one source
+    node to one destination node whose deliveries fall inside one
+    coalescing window share a single heap entry instead of one each.
+    Every member keeps its own fully-priced ``(time, dest, seq)`` key —
+    computed at issue exactly as without coalescing — and ``members`` is
+    sorted by that key, so the drain loop walks the batch in precisely
+    the order the individual heap entries would have popped.  Nothing
+    about the modeled machine changes: per-record lane cost, injection
+    occupancy, and remote latency are charged identically.
+
+    ``cursor`` is the index of the next unwalked member (a packet that
+    must yield to an earlier heap event is re-pushed keyed at that
+    member).  ``open`` means the packet has not yet been unwrapped by a
+    drain — the flight recorder samples the batch size exactly once.
+    ``window_end`` is the delivery-time bound new members must beat to
+    join (first member's delivery plus the coalescing window).
+    """
+
+    __slots__ = ("network_id", "members", "cursor", "open", "window_end")
+
+    def __init__(self, window_end: float) -> None:
+        self.network_id = PACKET_NWID
+        self.members: list = []
+        self.cursor = 0
+        self.open = True
+        self.window_end = window_end
+
+    def __reduce__(self):
+        # One reduce per packet: the parallel boundary relay ships the
+        # whole batch as flat tuples of plain payload fields.
+        rows = [
+            (
+                t,
+                dest,
+                seq,
+                r.thread,
+                r.label,
+                r.operands,
+                r.continuation,
+                r.src_network_id,
+                r.kind,
+                r.label_id,
+                r.rdt,
+            )
+            for t, dest, seq, r in self.members
+        ]
+        return (_packet_from_rows, (self.window_end, self.cursor, rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PacketRecord(members={len(self.members)}, "
+            f"cursor={self.cursor}, window_end={self.window_end})"
         )
 
 

@@ -46,10 +46,18 @@ class InjectionChannel:
         self.bytes_injected: int = 0
 
     def admit(self, t: float, occupancy: float, nbytes: int) -> float:
-        """Admit a transfer arriving at ``t``; return its departure time."""
+        """Admit a transfer arriving at ``t``; return its departure time.
+
+        ``bytes_injected`` stays an exact Python int no matter what the
+        caller passes: a float ``nbytes`` (easy to produce from derived
+        byte-size arithmetic) would flip the counter to floating point,
+        which silently loses whole bytes once a long chaos soak pushes
+        the total past 2**53.  Coercing here keeps the accounting
+        overflow-proof — Python ints are arbitrary-precision.
+        """
         start = max(t, self.free_at)
         self.free_at = start + occupancy
-        self.bytes_injected += nbytes
+        self.bytes_injected += int(nbytes)
         return self.free_at
 
     def admit_recorded(
@@ -62,7 +70,7 @@ class InjectionChannel:
         """
         start = max(t, self.free_at)
         self.free_at = start + occupancy
-        self.bytes_injected += nbytes
+        self.bytes_injected += int(nbytes)
         recorder.inj_sample(node, start, start - t, occupancy, nbytes)
         return self.free_at
 
@@ -87,6 +95,14 @@ class Network:
         self._local_base = float(config.local_msg_latency_cycles)
         self._remote_base = float(config.remote_msg_latency_cycles)
         self._injection_bw = config.node_injection_bytes_per_cycle
+        #: jitter decision hoisted to a plain bool — the per-call float
+        #: compare against the attribute was two loads per message.
+        self._jitter_on = jitter_cycles > 0.0
+        #: occupancy (``nbytes / injection_bw``) memo: transfer sizes
+        #: come from a handful of constants (message_bytes, DRAM block
+        #: sizes), so the division and the bandwidth attribute load are
+        #: paid once per distinct size instead of once per send.
+        self._occupancy: Dict[int, float] = {}
         #: flight recorder for channel telemetry, or None (the off tier).
         self.recorder = recorder
 
@@ -105,7 +121,7 @@ class Network:
     def latency(self, src_node: int, dst_node: int) -> float:
         """One-way message latency in cycles."""
         base = self._local_base if src_node == dst_node else self._remote_base
-        if self.jitter_cycles > 0.0:
+        if self._jitter_on:
             base += self._rng.uniform(0.0, self.jitter_cycles)
         return base
 
@@ -123,18 +139,21 @@ class Network:
         """
         if src_node is None:
             return t_issue
-        jitter = self.jitter_cycles
+        jitter_on = self._jitter_on
         if src_node == dst_node:
             # Intra-node messages ride the on-chip network; no injection
             # port.  latency() is inlined here — one call per message.
             base = self._local_base
-            if jitter > 0.0:
-                base += self._rng.uniform(0.0, jitter)
+            if jitter_on:
+                base += self._rng.uniform(0.0, self.jitter_cycles)
             return t_issue + base
         ch = self._injection.get(src_node)
         if ch is None:
             ch = self._injection[src_node] = InjectionChannel()
-        occupancy = nbytes / self._injection_bw
+        occ = self._occupancy
+        occupancy = occ.get(nbytes)
+        if occupancy is None:
+            occupancy = occ[nbytes] = nbytes / self._injection_bw
         recorder = self.recorder
         if recorder is None:
             # InjectionChannel.admit inlined — once per remote message.
@@ -147,8 +166,8 @@ class Network:
                 t_issue, occupancy, nbytes, recorder, src_node
             )
         base = self._remote_base
-        if jitter > 0.0:
-            base += self._rng.uniform(0.0, jitter)
+        if jitter_on:
+            base += self._rng.uniform(0.0, self.jitter_cycles)
         return departed + base
 
     def dram_hop(
@@ -186,7 +205,10 @@ class Network:
         ch = chans.get(src_node)
         if ch is None:
             ch = chans[src_node] = InjectionChannel()
-        occupancy = nbytes / self._injection_bw
+        occ = self._occupancy
+        occupancy = occ.get(nbytes)
+        if occupancy is None:
+            occupancy = occ[nbytes] = nbytes / self._injection_bw
         recorder = self.recorder
         if recorder is None:
             # InjectionChannel.admit inlined: this runs twice per remote

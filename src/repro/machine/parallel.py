@@ -202,6 +202,11 @@ class ShardScheduler(_ShardRouter):
             if t_next == math.inf:
                 break
             until = t_next + lookahead
+            # Epoch boundary: seal open coalescing packets so what a
+            # packet collects is fixed before any shard advances — the
+            # sequential drain seals at exactly this pop via its virtual
+            # windows (no-op when coalescing is off).
+            sim._seal_packets()
             for shard in range(self.shards):
                 heap = heaps[shard]
                 if not heap or heap[0][0] >= until:
@@ -295,6 +300,10 @@ class ParallelExecutor(_ShardRouter):
                 "multi-phase applications that set up between runs."
             )
         conns = self._conns
+        # Any packets the parent coalesced between drains are about to be
+        # forwarded as seeds; seal them so later parent-side sends cannot
+        # join a batch the workers already own.
+        sim._seal_packets()
         # forward injections buffered in the parent since the last drain
         pending, sim._heap = sim._heap, []
         seeds: List[list] = [[] for _ in range(self.shards)]
@@ -637,6 +646,10 @@ class ParallelExecutor(_ShardRouter):
             if op == "run":
                 _op, until, budget = msg
                 before = stats.events_executed
+                # window start: same seal point as the in-process
+                # scheduler — before any event of the window executes
+                # and before this window's outboxes are pickled
+                sim._seal_packets()
                 try:
                     sim._drain(budget, until)
                 except Exception:
@@ -730,6 +743,8 @@ def _rebind_recorder(sim, fresh) -> None:
     sim.recorder = fresh
     if old.record_messages:
         sim._rec_msg = fresh.message
+        if sim._rec_packet is not None:
+            sim._rec_packet = fresh.packet
     if old.record_faults:
         sim._rec_fault = fresh.fault
     if old.record_channels:

@@ -170,11 +170,18 @@ class GlobalMemory:
     # ------------------------------------------------------------------
 
     def region_of(self, va: int) -> Region:
+        # Descriptor.contains and Region._check_live are open-coded:
+        # every DRAM transaction funnels through here, and the two
+        # guard calls cost more than the comparisons they wrap.
         idx = bisect.bisect_right(self._bases, va) - 1
         if idx >= 0:
             region = self._regions[idx]
-            if region.descriptor.contains(va):
-                region._check_live()
+            d = region.descriptor
+            if d.base_va <= va < d.base_va + d.size:
+                if region.freed:
+                    raise MemoryError_(
+                        f"use after free of region {region.name!r}"
+                    )
                 return region
         raise MemoryError_(f"VA {va:#x} is unmapped")
 

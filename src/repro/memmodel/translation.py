@@ -100,11 +100,12 @@ class SwizzleDescriptor:
 
     def translate(self, va: int) -> Tuple[int, int]:
         """Virtual address -> ``(physical node, node-local offset)``."""
-        if not self.contains(va):
+        base_va = self.base_va
+        if not base_va <= va < base_va + self.size:
             raise TranslationError(
-                f"VA {va:#x} outside region [{self.base_va:#x}, {self.end_va:#x})"
+                f"VA {va:#x} outside region [{base_va:#x}, {self.end_va:#x})"
             )
-        offset = va - self.base_va
+        offset = va - base_va
         block = offset // self.block_size
         pnn = (self.first_node + (block % self.nr_nodes)) % self.machine_nodes
         local = (block // self.nr_nodes) * self.block_size + (

@@ -96,6 +96,14 @@ class FlightRecorder:
             kind: LogHistogram() for kind in MESSAGE_KINDS
         }
 
+        # -- packet taxonomy (histograms tier; coalescing runs only) --
+        #: batch-size histogram: one sample per unwrapped packet.
+        self.packet_sizes = LogHistogram()
+        #: packets unwrapped by the drain.
+        self.packets_recorded: int = 0
+        #: records those packets carried (sum of the sampled sizes).
+        self.packet_records: int = 0
+
         # -- KVMSR phases (phases tier) -------------------------------
         #: (job, phase, start, end) spans, closed.
         self.phase_spans: List[Tuple[str, str, float, float]] = []
@@ -127,6 +135,12 @@ class FlightRecorder:
     def message(self, kind: str, latency: float) -> None:
         """One message put on the wire; ``kind`` per :data:`MESSAGE_KINDS`."""
         self.msg_latency[kind].add(latency)
+
+    def packet(self, n_members: int) -> None:
+        """One coalesced packet unwrapped by the drain (batch size)."""
+        self.packet_sizes.add(n_members)
+        self.packets_recorded += 1
+        self.packet_records += n_members
 
     def _channel_sample(
         self,
@@ -261,6 +275,9 @@ class FlightRecorder:
             "dram_events": list(self.dram_events),
             "channel_events_dropped": self.channel_events_dropped,
             "msg_latency": copy.deepcopy(self.msg_latency),
+            "packet_sizes": copy.deepcopy(self.packet_sizes),
+            "packets_recorded": self.packets_recorded,
+            "packet_records": self.packet_records,
             "phase_spans": list(self.phase_spans),
             "marks": list(self.marks),
             "_open_phases": dict(self._open_phases),
@@ -283,6 +300,9 @@ class FlightRecorder:
         self.dram_events = list(state["dram_events"])
         self.channel_events_dropped = state["channel_events_dropped"]
         self.msg_latency = copy.deepcopy(state["msg_latency"])
+        self.packet_sizes = copy.deepcopy(state["packet_sizes"])
+        self.packets_recorded = state["packets_recorded"]
+        self.packet_records = state["packet_records"]
         self.phase_spans = list(state["phase_spans"])
         self.marks = list(state["marks"])
         self._open_phases = dict(state["_open_phases"])
@@ -322,6 +342,9 @@ class FlightRecorder:
         self.channel_events_dropped += other.channel_events_dropped
         for kind, hist in other.msg_latency.items():
             self.msg_latency[kind].merge(hist)
+        self.packet_sizes.merge(other.packet_sizes)
+        self.packets_recorded += other.packets_recorded
+        self.packet_records += other.packet_records
         self.phase_spans.extend(other.phase_spans)
         self.marks.extend(other.marks)
         self._open_phases.update(other._open_phases)

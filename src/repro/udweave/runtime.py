@@ -324,7 +324,15 @@ class UpDownRuntime:
         tid = record.thread
         if tid == NEW_THREAD:
             thread_obj = cls()
-            tid = lane.allocate_thread(thread_obj)
+            # Lane.allocate_thread open-coded: one context is allocated
+            # per delivered spawn, so the call dispatch was measurable.
+            free_tids = lane._free_tids
+            if free_tids:
+                tid = free_tids.pop()
+            else:
+                tid = lane._next_tid
+                lane._next_tid = tid + 1
+            lane.threads[tid] = thread_obj
             sim.stats.threads_created += 1
         else:
             thread_obj = lane.threads.get(tid)
@@ -355,7 +363,10 @@ class UpDownRuntime:
             ctx.cycles += pre
         func(thread_obj, ctx, *record.operands)
         if ctx.terminated:
-            lane.deallocate_thread(tid)
+            # Lane.deallocate_thread open-coded: one termination per
+            # spawned task, so the call dispatch was measurable.
+            if lane.threads.pop(tid, None) is not None:
+                lane._free_tids.append(tid)
             sim.stats.threads_terminated += 1
         elif not ctx.yielded:
             raise UDWeaveError(

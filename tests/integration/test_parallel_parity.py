@@ -143,6 +143,55 @@ class TestRecordedParallelRun:
         assert par.recorder.inj_wait.count == seq.recorder.inj_wait.count
 
 
+class TestCoalescedParity:
+    """``coalescing=True`` composes with every execution mode: packet
+    composition is shard-count-invariant (seals happen at the same
+    conservative window boundaries everywhere), so the *full* fingerprint
+    — including ``packets_sent`` / ``records_coalesced`` — matches across
+    sequential, in-process shards, and forked workers, and stripping the
+    two packet counters recovers the coalescing-off fingerprint."""
+
+    def _run(self, shards=1, parallel=False, coalescing=True):
+        rt = UpDownRuntime(
+            bench_config(NODES, coalescing=coalescing),
+            shards=shards,
+            parallel=parallel,
+        )
+        app = PageRankApp(rt, GRAPH, max_degree=16, block_size=BLOCK)
+        res = app.run(iterations=2, max_events=10_000_000)
+        rt.shutdown()
+        return rt, res
+
+    def test_fingerprint_shard_invariant_with_coalescing(self):
+        seq, seq_res = self._run()
+        fp = seq.sim.stats.scalar_snapshot()
+        assert fp["packets_sent"] > 0
+        assert fp["records_coalesced"] > 0
+        for kw in (dict(shards=2), dict(shards=2, parallel=True)):
+            rt, res = self._run(**kw)
+            assert rt.sim.stats.scalar_snapshot() == fp, kw
+            assert _mailbox(rt) == _mailbox(seq), kw
+            assert list(res.ranks) == list(seq_res.ranks), kw
+
+    def test_coalescing_invisible_outside_packet_counters(self):
+        on, on_res = self._run()
+        off, off_res = self._run(coalescing=False)
+        fp_on = on.sim.stats.scalar_snapshot()
+        fp_off = off.sim.stats.scalar_snapshot()
+        # record-level conservation: every remote record either opened a
+        # packet or joined one (no transport/faults in this run)
+        assert (
+            fp_on["packets_sent"] + fp_on["records_coalesced"]
+            == fp_on["messages_remote"]
+        )
+        for key in ("packets_sent", "records_coalesced"):
+            fp_on.pop(key)
+            fp_off.pop(key)
+        assert fp_on == fp_off
+        assert _mailbox(on) == _mailbox(off)
+        assert list(on_res.ranks) == list(off_res.ranks)
+
+
 class TestMultiDrainSharded:
     """Apps that call run() more than once, set up device state between
     phases, and read results through shared payload objects — the full

@@ -95,11 +95,15 @@ class TestCreditLedger:
             assert banked_credits(rt.sim, job.job_id) == 0  # flush reset
             assert rt.sim.stats.quiesced
 
-    def test_partition_holds_under_message_faults(self):
+    @pytest.mark.parametrize("coalescing", [False, True])
+    def test_partition_holds_under_message_faults(self, coalescing):
         """Drops/duplicates must not unbalance the partition: a dropped
-        send still counts as sent+remote, a duplicate counts once."""
+        send still counts as sent+remote, a duplicate counts once.  With
+        ``coalescing=True`` the partition is over *records* exactly as
+        before — packets are bookkeeping, not messages — and the packet
+        counters themselves conserve records at every drain pause."""
         rt = UpDownRuntime(
-            bench_machine(nodes=2),
+            bench_machine(nodes=2, coalescing=coalescing),
             faults=FaultPlan(seed=6, drop_rate=0.02, duplicate_rate=0.02),
             reliable=True,
         )
@@ -125,7 +129,21 @@ class TestCreditLedger:
         while rt.sim._heap:
             window += 7_000.0
             rt.sim.run(until=window, max_events=3_000_000)
-            assert message_partition_holds(rt.sim.stats)
+            s = rt.sim.stats
+            assert message_partition_holds(s)
+            # record-level packet conservation: every healthy remote
+            # delivery opened or joined a packet; faulted deliveries
+            # (drop/dup/delay) are per-record and occupy no packet
+            assert s.packets_sent + s.records_coalesced == (
+                (
+                    s.messages_remote
+                    - s.faults_messages_dropped
+                    - s.faults_messages_duplicated
+                    - s.faults_messages_delayed
+                )
+                if coalescing
+                else 0
+            )
         stats = rt.sim.stats
         assert stats.faults_messages_dropped > 0
         assert sorted(v for vs in sink.values() for v in vs) == list(range(80))

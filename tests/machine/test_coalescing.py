@@ -1,0 +1,309 @@
+"""Packet-coalescing fabric (DESIGN.md "Packet coalescing & fused dispatch").
+
+Coalescing is a *host-side* optimization: remote records whose deliveries
+fall in one window share a single heap entry (a ``PacketRecord``), but
+each record still pays its own injection occupancy and remote latency at
+issue time.  The contract under test:
+
+* the window rule — join only while delivery < ``window_end``, same
+  (src, dst) node pair, strictly increasing member keys;
+* every delivery time, counter, and dispatch order is bit-identical to a
+  coalescing-off run (only ``packets_sent`` / ``records_coalesced``
+  differ, and those two must sum to the coalesced remote deliveries);
+* packets survive ``until=`` parking, ``max_events`` aborts, and pickling
+  (the parallel boundary relay ships them as single blobs);
+* invalid combinations (jitter, bad windows) are rejected loudly.
+"""
+
+import pickle
+
+import pytest
+
+from repro.machine import (
+    HOST_NWID,
+    MessageRecord,
+    SimulationError,
+    Simulator,
+    bench_machine,
+)
+from repro.machine.events import NEW_THREAD, PACKET_NWID, PacketRecord
+
+
+def _sim(**overrides):
+    executed = []
+
+    def dispatcher(sim, lane, rec, start):
+        executed.append((rec.label, lane.network_id, start))
+        return 1.0
+
+    sim = Simulator(
+        bench_machine(nodes=2, **overrides), dispatcher=dispatcher
+    )
+    sim.executed = executed
+    return sim
+
+
+def _remote_lane(sim, node=1, lane=0):
+    return sim.config.first_lane_of_node(node) + lane
+
+
+class TestConfigValidation:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="coalescing_window_cycles"):
+            bench_machine(nodes=2, coalescing_window_cycles=0.0)
+
+    def test_window_must_not_exceed_remote_base(self):
+        cfg = bench_machine(nodes=2)
+        with pytest.raises(ValueError, match="coalescing_window_cycles"):
+            bench_machine(
+                nodes=2,
+                coalescing_window_cycles=cfg.remote_msg_latency_cycles + 1,
+            )
+
+    def test_window_defaults_to_remote_base(self):
+        cfg = bench_machine(nodes=2, coalescing=True)
+        assert cfg.coalescing_window == float(cfg.remote_msg_latency_cycles)
+        cfg2 = bench_machine(nodes=2, coalescing_window_cycles=250.0)
+        assert cfg2.coalescing_window == 250.0
+
+    def test_jitter_rejected(self):
+        """Jittered remote latency breaks the delivery >= issue + base
+        bound the join-before-pop argument rests on."""
+        with pytest.raises(SimulationError, match="jitter"):
+            Simulator(
+                bench_machine(nodes=2, coalescing=True),
+                latency_jitter_cycles=5.0,
+            )
+
+
+class TestWindowRule:
+    def test_back_to_back_sends_share_one_packet(self):
+        sim = _sim(coalescing=True)
+        dst = _remote_lane(sim)
+        for i in range(4):
+            sim.send(
+                MessageRecord(dst, NEW_THREAD, f"m{i}"), float(i), src_node=0
+            )
+        assert sim.stats.packets_sent == 1
+        assert sim.stats.records_coalesced == 3
+        assert len(sim._heap) == 1
+        assert sim._heap[0][3].network_id == PACKET_NWID
+        sim.run()
+        assert [e[0] for e in sim.executed] == ["m0", "m1", "m2", "m3"]
+        assert sim.stats.events_executed == 4
+        assert sim.stats.messages_remote == 4
+
+    def test_delivery_at_window_end_starts_new_packet(self):
+        """Membership is strict: delivery == window_end opens a fresh
+        packet (windows are half-open, [t0, t0 + W))."""
+        sim = _sim(coalescing=True)
+        dst = _remote_lane(sim)
+        base = float(sim.config.remote_msg_latency_cycles)
+        sim.send(MessageRecord(dst, NEW_THREAD, "a"), 0.0, src_node=0)
+        # issued exactly one base later: delivery lands on window_end
+        sim.send(MessageRecord(dst, NEW_THREAD, "b"), base, src_node=0)
+        assert sim.stats.packets_sent == 2
+        assert sim.stats.records_coalesced == 0
+
+    def test_delivery_inside_window_joins(self):
+        sim = _sim(coalescing=True)
+        dst = _remote_lane(sim)
+        base = float(sim.config.remote_msg_latency_cycles)
+        sim.send(MessageRecord(dst, NEW_THREAD, "a"), 0.0, src_node=0)
+        sim.send(MessageRecord(dst, NEW_THREAD, "b"), base - 1.0, src_node=0)
+        assert sim.stats.packets_sent == 1
+        assert sim.stats.records_coalesced == 1
+
+    def test_distinct_node_pairs_never_share(self):
+        sim = _sim(coalescing=True)
+        dst = _remote_lane(sim)
+        sim.send(MessageRecord(dst, NEW_THREAD, "fwd"), 0.0, src_node=0)
+        sim.send(MessageRecord(0, NEW_THREAD, "rev"), 0.0, src_node=1)
+        assert sim.stats.packets_sent == 2
+        assert sim.stats.records_coalesced == 0
+
+    def test_local_and_host_traffic_never_coalesces(self):
+        sim = _sim(coalescing=True)
+        sim.send(MessageRecord(0, NEW_THREAD, "local"), 0.0, src_node=0)
+        sim.send(
+            MessageRecord(0, NEW_THREAD, "inject", src_network_id=None),
+            0.0,
+            src_node=None,
+        )
+        sim.send(MessageRecord(HOST_NWID, 0, "done"), 0.0, src_node=0)
+        assert sim.stats.packets_sent == 0
+        assert sim.stats.records_coalesced == 0
+
+    def test_delivery_times_match_uncoalesced(self):
+        """send() returns the same delivery times with coalescing on —
+        the cost model is charged per record, at issue, either way."""
+
+        def deliveries(coalescing):
+            sim = _sim(coalescing=coalescing)
+            dst = _remote_lane(sim)
+            return [
+                sim.send(
+                    MessageRecord(dst, NEW_THREAD, f"m{i}"),
+                    float(i) * 0.25,
+                    src_node=0,
+                )
+                for i in range(16)
+            ]
+
+        assert deliveries(True) == deliveries(False)
+
+
+class TestDispatchParity:
+    def _fanout(self, coalescing, *, step=None):
+        """Seeds on both nodes spray remote messages both directions."""
+        fanned = []
+
+        def dispatcher(sim, lane, rec, start):
+            if rec.label == "seed":
+                node = sim.config.node_of(lane.network_id)
+                other = sim.config.first_lane_of_node(1 - node)
+                for i in range(6):
+                    sim.send(
+                        MessageRecord(other + (i % 2), NEW_THREAD, "w"),
+                        start + 2.0 + i,
+                        src_node=node,
+                    )
+            fanned.append((rec.label, lane.network_id, start))
+            return 2.0
+
+        sim = Simulator(
+            bench_machine(nodes=2, coalescing=coalescing),
+            dispatcher=dispatcher,
+        )
+        dst1 = sim.config.first_lane_of_node(1)
+        for t in (0.0, 1.0, 700.0, 2500.0):
+            sim.inject(MessageRecord(0, NEW_THREAD, "seed"), t=t)
+            sim.inject(MessageRecord(dst1, NEW_THREAD, "seed"), t=t + 0.5)
+        if step is None:
+            sim.run()
+        else:
+            t = 0.0
+            while sim._heap:
+                t += step
+                sim.run(until=t)
+            sim.run()
+        return fanned, sim.stats.scalar_snapshot()
+
+    @staticmethod
+    def _strip(snapshot):
+        out = dict(snapshot)
+        out.pop("packets_sent")
+        out.pop("records_coalesced")
+        return out
+
+    def test_execution_order_bit_identical(self):
+        off_order, off_fp = self._fanout(False)
+        on_order, on_fp = self._fanout(True)
+        assert on_order == off_order
+        assert self._strip(on_fp) == self._strip(off_fp)
+        assert on_fp["packets_sent"] > 0
+        assert on_fp["records_coalesced"] > 0
+        # record conservation: every remote record either opened a
+        # packet or joined one
+        assert (
+            on_fp["packets_sent"] + on_fp["records_coalesced"]
+            == on_fp["messages_remote"]
+        )
+
+    def test_until_stepping_parks_and_resumes_packets(self):
+        """Bounded stepping (the shard drivers' idiom) must cut through
+        packet interiors without losing or reordering members."""
+        whole_order, whole_fp = self._fanout(True)
+        for step in (100.0, 333.0, 1001.0):
+            stepped_order, stepped_fp = self._fanout(True, step=step)
+            assert stepped_order == whole_order, step
+            assert stepped_fp == whole_fp, step
+
+    def test_max_events_abort_leaves_heap_coherent(self):
+        """A mid-packet max_events abort parks the unexecuted remainder;
+        resuming completes the run with the full-run totals."""
+
+        def run(limit):
+            executed = []
+
+            def dispatcher(sim, lane, rec, start):
+                executed.append((rec.label, lane.network_id, start))
+                return 1.0
+
+            sim = Simulator(
+                bench_machine(nodes=2, coalescing=True),
+                dispatcher=dispatcher,
+            )
+            dst = sim.config.first_lane_of_node(1)
+            for i in range(8):
+                sim.send(
+                    MessageRecord(dst + (i % 2), NEW_THREAD, f"m{i}"),
+                    float(i),
+                    src_node=0,
+                )
+            assert sim.stats.packets_sent == 1
+            if limit is not None:
+                with pytest.raises(SimulationError):
+                    sim.run(max_events=limit)
+            sim.run()
+            return executed, sim.stats.scalar_snapshot()
+
+        golden = run(None)
+        for limit in (1, 3, 5, 7):
+            assert run(limit) == golden, limit
+
+
+class TestPacketPickling:
+    def test_reduce_round_trips_members(self):
+        """The parallel boundary relay pickles one blob per packet; the
+        reconstructed packet must carry identical member keys/payloads."""
+        pkt = PacketRecord(1234.5)
+        for i in range(3):
+            rec = MessageRecord(
+                7 + i,
+                NEW_THREAD,
+                f"m{i}",
+                (i, "payload"),
+                None,
+                3,
+                "msg",
+                i,
+            )
+            pkt.members.append((1000.0 + i, 7 + i, (4 << 44) | i, rec))
+        pkt.cursor = 1
+        clone = pickle.loads(pickle.dumps(pkt))
+        assert clone.network_id == PACKET_NWID
+        assert clone.window_end == pkt.window_end
+        assert clone.cursor == 1
+        assert clone.open  # dst shard records the histogram at unwrap
+        assert len(clone.members) == 3
+        for (t, d, s, rec), (ct, cd, cs, crec) in zip(
+            pkt.members, clone.members
+        ):
+            assert (ct, cd, cs) == (t, d, s)
+            assert crec.network_id == rec.network_id
+            assert crec.label == rec.label
+            assert crec.operands == rec.operands
+            assert crec.src_network_id == rec.src_network_id
+            assert crec.label_id == rec.label_id
+
+
+class TestRecorderTaxonomy:
+    def test_packet_sizes_histogram_populated(self):
+        from repro.observe import make_recorder
+
+        rec = make_recorder("histograms")
+        sim = Simulator(
+            bench_machine(nodes=2, coalescing=True),
+            dispatcher=lambda s, lane, r, start: 1.0,
+            recorder=rec,
+        )
+        dst = sim.config.first_lane_of_node(1)
+        for i in range(5):
+            sim.send(
+                MessageRecord(dst, NEW_THREAD, f"m{i}"), float(i), src_node=0
+            )
+        sim.run()
+        assert rec.packets_recorded == sim.stats.packets_sent == 1
+        assert rec.packet_records == 5
+        assert rec.packet_sizes.count == 1

@@ -54,6 +54,41 @@ class TestInjection:
         assert d2 == d1 + 2.0
         assert ch.bytes_injected == 128
 
+    def test_byte_accounting_is_overflow_safe(self):
+        """Long chaos soaks push channel totals past 2**53; the counter
+        must stay an exact Python int even when a caller hands a float
+        ``nbytes`` (easy to produce from derived byte arithmetic) —
+        float accumulation would silently lose whole bytes up there."""
+        ch = InjectionChannel()
+        ch.bytes_injected = 2**53  # beyond exact float integer range
+        ch.admit(0.0, 1.0, 64.0)
+        assert isinstance(ch.bytes_injected, int)
+        assert ch.bytes_injected == 2**53 + 64
+        ch.admit(1.0, 1.0, 1.0)
+        assert ch.bytes_injected == 2**53 + 65  # float math would drop it
+
+        class _Rec:
+            def inj_sample(self, *a):
+                pass
+
+        ch2 = InjectionChannel()
+        ch2.bytes_injected = 2**53
+        ch2.admit_recorded(0.0, 1.0, 1.0, _Rec(), 0)
+        assert isinstance(ch2.bytes_injected, int)
+        assert ch2.bytes_injected == 2**53 + 1
+
+    def test_occupancy_memo_matches_direct_division(self):
+        """deliver_time's per-size occupancy memo must reproduce the
+        exact division — same floats, just computed once per size."""
+        cfg = bench_machine(nodes=2)
+        net = Network(cfg)
+        t1 = net.deliver_time(0.0, 0, 1, 64)
+        expected = 64 / cfg.node_injection_bytes_per_cycle + 1000.0
+        assert t1 == expected
+        # memoized second call: queues exactly one occupancy behind
+        t2 = net.deliver_time(0.0, 0, 1, 64)
+        assert t2 == t1 + 64 / cfg.node_injection_bytes_per_cycle
+
 
 class TestJitter:
     def test_jitter_is_seeded_and_bounded(self):
