@@ -21,6 +21,8 @@ Usage::
         --label shards4 --shards 4 --parallel   # conservative parallel mode
     PYTHONPATH=src python benchmarks/bench_simcore.py \
         --label coalesced --coalesce   # packet-coalescing fabric
+    PYTHONPATH=src python benchmarks/bench_simcore.py \
+        --label batched --batch   # batched label-homogeneous dispatch
 
 Determinism: each workload also records ``final_tick`` and
 ``events_executed``; those must be bit-identical across labels — a
@@ -67,6 +69,7 @@ def _build(
     parallel: bool,
     explicit_fault_off: bool = False,
     coalesce: bool = False,
+    batch: bool = False,
 ):
     """Fresh (runtime, app, run_kwargs) — setup cost excluded from timing.
 
@@ -89,7 +92,7 @@ def _build(
         else {}
     )
     rt = UpDownRuntime(
-        bench_config(nodes, coalescing=coalesce),
+        bench_config(nodes, coalescing=coalesce, batch_dispatch=batch),
         shards=shards,
         parallel=parallel,
         **fault_kw,
@@ -115,13 +118,15 @@ def run_workload(
     parallel: bool = False,
     explicit_fault_off: bool = False,
     coalesce: bool = False,
+    batch: bool = False,
 ):
     """Best-of-``repeats`` events/sec for one workload; returns a dict."""
     best = None
     fingerprint = None
     for _ in range(repeats):
         rt, app = _build(
-            name, scale, nodes, shards, parallel, explicit_fault_off, coalesce
+            name, scale, nodes, shards, parallel, explicit_fault_off,
+            coalesce, batch,
         )
         t0 = time.perf_counter()
         try:
@@ -137,6 +142,10 @@ def run_workload(
             raise RuntimeError(
                 f"{name}: non-deterministic run — {fp} != {fingerprint}"
             )
+        # events_executed counts every record individually — the batch
+        # executor credits each parked record it replays, so a batch of
+        # N reduce records is N events here, never 1 (a one-batch-one-
+        # event ledger would fabricate its own speedup).
         eps = stats.events_executed / seconds if seconds > 0 else 0.0
         if best is None or eps > best["events_per_second"]:
             best = {
@@ -145,6 +154,8 @@ def run_workload(
                 "events_executed": stats.events_executed,
                 "messages_sent": stats.messages_sent,
                 "final_tick": stats.final_tick,
+                "records_batched": stats.records_batched,
+                "batches_executed": stats.batches_executed,
                 "wall_seconds": round(seconds, 4),
                 "events_per_second": round(eps, 1),
             }
@@ -265,6 +276,22 @@ def main(argv=None) -> int:
         "coalescing only removes host-side heap traffic, never cost",
     )
     parser.add_argument(
+        "--batch",
+        dest="batch",
+        action="store_true",
+        default=False,
+        help="enable batched label-homogeneous dispatch "
+        "(batch_dispatch=True); fingerprints must stay bit-identical to "
+        "unbatched entries — batching removes host-side interpreter "
+        "passes, never simulated cost",
+    )
+    parser.add_argument(
+        "--no-batch",
+        dest="batch",
+        action="store_false",
+        help="force the per-event interpreter path (the default)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path"
     )
     parser.add_argument(
@@ -293,12 +320,19 @@ def main(argv=None) -> int:
         return run_fault_guard(
             workloads, max(args.repeats, 3), args.guard_tolerance
         )
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
     entry = {
         "python": platform.python_version(),
+        "numpy": numpy_version,
         "quick": args.quick,
         "shards": args.shards,
         "parallel": args.parallel,
         "coalesce": args.coalesce,
+        "batch": args.batch,
         "cpu_count": os.cpu_count(),
         "workloads": {},
     }
@@ -314,6 +348,7 @@ def main(argv=None) -> int:
             shards=args.shards,
             parallel=args.parallel,
             coalesce=args.coalesce,
+            batch=args.batch,
         )
         entry["workloads"][name] = result
         print(
@@ -350,6 +385,28 @@ def main(argv=None) -> int:
                 )
         existing["speedup_coalesced_over_after"] = speedups
         print("coalescing speedups:", speedups)
+    if "after" in entries and "batched" in entries:
+        speedups = {}
+        for name, batched in entries["batched"]["workloads"].items():
+            after = entries["after"]["workloads"].get(name)
+            if after and after["events_per_second"]:
+                if (
+                    batched["final_tick"] != after["final_tick"]
+                    or batched["events_executed"] != after["events_executed"]
+                    or batched["messages_sent"] != after["messages_sent"]
+                ):
+                    raise RuntimeError(
+                        f"{name}: batched fingerprint diverged from 'after' — "
+                        "a throughput win that changes the simulation is a "
+                        "bug, not a win"
+                    )
+                speedups[name] = round(
+                    batched["events_per_second"]
+                    / after["events_per_second"],
+                    2,
+                )
+        existing["speedup_batched_over_after"] = speedups
+        print("batching speedups:", speedups)
     args.output.write_text(json.dumps(existing, indent=2) + "\n")
     print(f"wrote {args.output}")
     return 0

@@ -124,6 +124,9 @@ class BlockBinding(MapBinding):
                 out.append((lane, lo, hi))
         return out
 
+    def __repr__(self) -> str:
+        return "BlockBinding()"
+
 
 class PBMWBinding(MapBinding):
     """Partial-Block + Master-Worker.
@@ -149,6 +152,12 @@ class PBMWBinding(MapBinding):
         static = int(n_keys * self.initial_fraction)
         return (static, n_keys)
 
+    def __repr__(self) -> str:
+        return (
+            f"PBMWBinding(initial_fraction={self.initial_fraction}, "
+            f"chunk_size={self.chunk_size})"
+        )
+
 
 class KeyToLaneBinding(MapBinding):
     """Each key is its own task, placed by a user function ``fn(key)``."""
@@ -158,6 +167,9 @@ class KeyToLaneBinding(MapBinding):
 
     def partition(self, n_keys: int, lanes: LaneSet) -> List[Assignment]:
         return [(self.fn(k), k, k + 1) for k in range(n_keys)]
+
+    def __repr__(self) -> str:
+        return f"KeyToLaneBinding({getattr(self.fn, '__name__', self.fn)!r})"
 
 
 class ReduceBinding:
@@ -196,6 +208,9 @@ class HashBinding(ReduceBinding):
         lst = lanes.lanes
         return lst[(h ^ self._seed_mix) % len(lst)]
 
+    def __repr__(self) -> str:
+        return f"HashBinding(seed={self.seed})"
+
 
 class CustomReduceBinding(ReduceBinding):
     """User-supplied key -> lane placement."""
@@ -205,6 +220,11 @@ class CustomReduceBinding(ReduceBinding):
 
     def lane_for(self, key, lanes: LaneSet) -> int:
         return self.fn(key)
+
+    def __repr__(self) -> str:
+        return (
+            f"CustomReduceBinding({getattr(self.fn, '__name__', self.fn)!r})"
+        )
 
 
 class DataDrivenBinding(ReduceBinding):

@@ -42,6 +42,12 @@ class CombiningCache:
         order): one add runs per emitted tuple machine-wide, so the
         five-call fan-out was pure dispatch overhead.
         """
+        if ctx.__class__ is not LaneContext:
+            # IR lowering: a proven composite intrinsic (CC_ADD) — the
+            # generated batch executor reproduces both arms, their
+            # charge order, and the per-key float accumulation order.
+            ctx.op_cc_add(self, key, delta)
+            return
         vk = ("cc", self.name, key)
         sp = ctx.lane.scratchpad
         sp_cost = ctx.costs.scratchpad_access

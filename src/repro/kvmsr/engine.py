@@ -120,6 +120,23 @@ class KVMSRJob:
             self.reduce_entry_label_id = runtime.label_id(
                 self._reduce_entry_label
             )
+        #: batched-dispatch plan cache (``repro.udweave.ir``): lowered
+        #: lazily on the job's first emitted tuple; ``_batch_tried``
+        #: keeps un-lowerable handlers from re-tracing per emit.
+        self._batch_plan = None
+        self._batch_tried = False
+        #: destination-lane memo for the kv_emit hot path.  Only armed
+        #: for the stateless :class:`HashBinding` — a pure function of
+        #: the key, so caching is observationally invisible; custom or
+        #: data-driven bindings keep calling ``lane_for`` every emit.
+        self._lane_memo = (
+            {} if type(self.reduce_binding) is HashBinding else None
+        )
+        #: kv_emit's fixed charge (hash + lane arithmetic + send), summed
+        #: once.  Table-2 costs are integers, so one float add is
+        #: bit-identical to the two-step charge it replaces.
+        _c = runtime.config.costs
+        self._emit_cycles = 2 * _c.instruction + _c.send_message
 
     # -- label helpers -------------------------------------------------
 
@@ -168,6 +185,18 @@ def _register_job(runtime: UpDownRuntime, job: KVMSRJob) -> int:
     job_id = len(reg)
     reg[job_id] = job
     return job_id
+
+
+def _lower_job_reduce_entry(job, runtime, operands):
+    """Lower + validate ``job``'s reduce entry once; cache the outcome."""
+    from repro.udweave.ir import lower_reduce_entry
+
+    job._batch_tried = True
+    plan = lower_reduce_entry(runtime, job, operands)
+    if plan.parkable:
+        job._batch_plan = plan
+        return plan
+    return None
 
 
 def job_of(ctx: LaneContext, job_id: int) -> KVMSRJob:
@@ -284,23 +313,54 @@ class MapTask(UDThread):
             raise KVMSRError(
                 f"job {job.name!r} has no reduce phase; kv_emit is invalid"
             )
-        lane = job.reduce_binding.lane_for(key, job.reduce_lanes)
+        if ctx.__class__ is not LaneContext:
+            # IR lowering (repro.udweave.ir): record the intrinsic and
+            # abort — an emitting body is never batch-safe, and tracing
+            # past this point would hash a symbolic key.
+            ctx.op_kv_emit(job, key, values)
+        memo = job._lane_memo
+        if memo is None:
+            lane = job.reduce_binding.lane_for(key, job.reduce_lanes)
+        else:
+            lane = memo.get(key)
+            if lane is None:
+                lane = memo[key] = job.reduce_binding.lane_for(
+                    key, job.reduce_lanes
+                )
         # Packet-aware emit, open-coded: the entry label was interned at
         # job construction and the binding's lanes were range-checked
         # there, so the resolved fast path feeds the coalescing fabric
-        # without per-tuple lookups or call dispatch.  The two cycle
-        # charges land in the same order as work(2) + spawn_resolved(),
+        # without per-tuple lookups or call dispatch.  The summed cycle
+        # charge lands in the same order as work(2) + spawn_resolved(),
         # so every simulated timestamp is bit-identical to spawn().
-        costs = ctx.costs
-        ctx.cycles += 2 * costs.instruction  # hash + lane arithmetic
-        ctx.cycles += costs.send_message
+        ctx.cycles += job._emit_cycles
         ln = ctx.lane
-        ctx.sim.send(
+        sim = ctx.sim
+        operands = (self._job_id, key) + values
+        if sim._park_active:
+            # Batched dispatch: a batch-safe reduce entry parks on its
+            # destination lane instead of riding the heap — priced and
+            # sequenced identically, executed array-at-a-time just
+            # before that lane is next observed.  The first emitted
+            # tuple of a job triggers lowering + validation lazily (it
+            # supplies the operand arity); un-lowerable handlers stay
+            # on the interpreter forever.
+            plan = job._batch_plan
+            if plan is None and not job._batch_tried:
+                plan = _lower_job_reduce_entry(job, ctx.runtime, operands)
+            if plan is not None:
+                sim.park_emit(
+                    plan, lane, operands, ctx.start + ctx.cycles,
+                    ln.network_id, ln.node,
+                )
+                self._emitted += 1
+                return
+        sim.send(
             MessageRecord(
                 lane,
                 NEW_THREAD,
                 job._reduce_entry_label,
-                (self._job_id, key) + values,
+                operands,
                 None,
                 ln.network_id,
                 "msg",
@@ -378,6 +438,10 @@ class ReduceTask(UDThread):
         ``sp_read``/``sp_write`` would): one of these runs per emitted
         tuple, machine-wide.
         """
+        if ctx.__class__ is not LaneContext:
+            # IR lowering: a proven composite intrinsic (KVR_RETURN).
+            ctx.op_kvr_return(self._job_id)
+            return
         cost = ctx.costs.scratchpad_access
         ctx.cycles += cost
         ctx.cycles += cost

@@ -81,6 +81,13 @@ class MachineConfig:
     #: guarantees every member joins a packet strictly before the
     #: packet's first delivery pops.
     coalescing_window_cycles: Optional[float] = None
+    #: execute batch-safe same-label KVMSR reduce records array-at-a-time
+    #: instead of one interpreter pass each (a host-side simulator
+    #: optimization — simulated results are bit-identical; DESIGN.md
+    #: "Event IR & batched dispatch").  Handlers the IR lowering cannot
+    #: prove batch-safe, and drain modes other than the plain sequential
+    #: one, fall back to per-event interpretation automatically.
+    batch_dispatch: bool = False
     costs: CostTable = field(default_factory=lambda: DEFAULT_COSTS)
 
     def __post_init__(self) -> None:

@@ -324,6 +324,75 @@ class DramArrival:
         )
 
 
+class RecordBatch:
+    """Columnar (NumPy-backed) view of a homogeneous parked-record slice.
+
+    The batch-dispatch path parks same-label reduce records per lane as
+    plain ``(time, seq, plan, operands)`` tuples (see
+    ``repro.udweave.ir``).  This view exposes one slice of that list as
+    NumPy columns — delivery times, sequence keys, and one object column
+    per operand slot — for tooling, tests, and analysis that want
+    array-at-a-time access (histograms, order checks, key distributions)
+    without re-walking Python tuples.
+
+    The *executors* deliberately do not consume this view: per-key float
+    accumulation order is part of the bit-exactness contract, which rules
+    out vectorized reductions, and typical batches are far below the size
+    where column staging pays for itself.  Construction is lazy and
+    cheap; columns are materialized once on first access.
+    """
+
+    __slots__ = ("times", "seqs", "operands", "label")
+
+    def __init__(self, times, seqs, operands, label: str) -> None:
+        self.times = times
+        self.seqs = seqs
+        #: tuple of object-dtype arrays, one per operand slot
+        self.operands = operands
+        self.label = label
+
+    @classmethod
+    def from_entries(cls, entries, lo: int, hi: int) -> "RecordBatch":
+        import numpy as np
+
+        rows = entries[lo:hi]
+        times = np.fromiter(
+            (e[0] for e in rows), dtype=np.float64, count=len(rows)
+        )
+        seqs = np.fromiter(
+            (e[1] for e in rows), dtype=np.int64, count=len(rows)
+        )
+        width = len(rows[0][3]) if rows else 0
+        operands = tuple(
+            np.fromiter(
+                (e[3][j] for e in rows), dtype=object, count=len(rows)
+            )
+            for j in range(width)
+        )
+        label = rows[0][2].label if rows else ""
+        return cls(times, seqs, operands, label)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def is_sorted(self) -> bool:
+        """True iff the slice is in (time, seq) delivery order."""
+        import numpy as np
+
+        if len(self.times) < 2:
+            return True
+        dt = np.diff(self.times)
+        ok = dt > 0
+        ties = dt == 0
+        return bool(
+            np.all(dt >= 0)
+            and np.all(ok | (ties & (np.diff(self.seqs) > 0)))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RecordBatch({self.label!r}, n={len(self.times)})"
+
+
 class SimEvent:
     """Named view over a ``(time, dest, seq, record)`` heap tuple.
 

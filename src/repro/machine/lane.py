@@ -28,6 +28,7 @@ class Lane:
         "_free_tids",
         "scratchpad",
         "ctx_cache",
+        "parked",
     )
 
     def __init__(self, network_id: int, node: int, accel: int) -> None:
@@ -48,6 +49,10 @@ class Lane:
         #: dispatcher (the UDWeave runtime parks one reusable LaneContext
         #: here instead of allocating a fresh one per event).
         self.ctx_cache: Any = None
+        #: batch-dispatch staging area: ``(time, seq, plan, operands)``
+        #: records parked at emit time, flushed in key order before the
+        #: lane's state is next observed (``repro.udweave.ir``).
+        self.parked: list = []
 
     def allocate_thread(self, thread_obj: Any) -> int:
         """Install ``thread_obj`` and return its thread-context ID.

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from bisect import bisect_left, insort
 from typing import Callable, List, Optional, Tuple
 
 from .config import MachineConfig
@@ -242,8 +243,28 @@ class Simulator:
         self._open_packets: dict = {}
         self._coalesce_window = config.coalescing_window if coalescing else 0.0
         self._remote_base_cycles = float(config.remote_msg_latency_cycles)
+        self._local_base_cycles = float(config.local_msg_latency_cycles)
         self._msg_occupancy = config.message_bytes / self._inj_bw
         self._nodes = config.nodes
+        # --- batched dispatch (host-side optimization; see DESIGN.md) --
+        # Batch-safe reduce records are *parked* at emit time into the
+        # target lane's ``parked`` list — priced, counted, and sequenced
+        # exactly as a normal send — then executed in same-plan runs by
+        # a compiled executor just before the lane's state is next
+        # observed.  Results are bit-identical; only per-record Python
+        # machinery (heap traffic, dispatch, context churn) is skipped.
+        self._batch_on = bool(config.batch_dispatch)
+        #: parking is armed per drain (sequential, fault-free, unwatched,
+        #: unrecorded-span drains only — see :meth:`run`); everything
+        #: else falls back to per-event interpretation automatically.
+        self._park_active = False
+        #: records currently parked machine-wide (0 ⇒ flush paths skip).
+        self._parked_total = 0
+        self._rec_batch = (
+            recorder.batch
+            if recorder is not None and recorder.record_messages
+            else None
+        )
         #: end of the sequential drain's *virtual* conservative window;
         #: mirrors the shard scheduler's epoch boundaries (see _drain).
         self._vw_end = 0.0
@@ -416,6 +437,7 @@ class Simulator:
             "last_progress_tick": self._wd_last_progress,
             "watchdog_cycles": self._watchdog_cycles,
             "heap_events": len(self._heap),
+            "parked_records": self._parked_total,
             "next_events": next_events,
             "pending_threads": self._live_threads(),
             "blocked_threads": blocked,
@@ -438,7 +460,9 @@ class Simulator:
         pending = self._live_threads()
         stats = self.stats
         stats.pending_threads = pending
-        stats.quiesced = not self._heap and pending == 0
+        stats.quiesced = (
+            not self._heap and pending == 0 and self._parked_total == 0
+        )
 
     # ------------------------------------------------------------------
     # Message transport
@@ -723,6 +747,134 @@ class Simulator:
             route(entry)
         return t_deliver
 
+    # ------------------------------------------------------------------
+    # Batched dispatch (park at emit, flush before observation)
+    # ------------------------------------------------------------------
+
+    def park_emit(
+        self,
+        plan,
+        nwid: int,
+        operands: tuple,
+        t_issue: float,
+        src_nwid: int,
+        src_node: int,
+    ) -> float:
+        """Admit a batch-safe reduce record without building a heap event.
+
+        Everything *globally observable at issue time* happens here
+        exactly as :meth:`send` would do it: the actor sequence ticks,
+        the injection channel admits (remote legs), the message taxonomy
+        counters and trace/recorder hooks fire.  Only the delivery is
+        deferred — the record parks on the destination lane, keyed by
+        the same ``(time, seq)`` its heap entry would have carried, and
+        executes (in key order, merged with heap deliveries) the moment
+        the lane's state is next observed.  Only reachable while
+        ``_park_active`` (armed by :meth:`run` for plain sequential
+        drains), which guarantees the fabric is healthy: no transport,
+        faults, jitter, or channel recording.
+        """
+        stats = self.stats
+        aseq = self._actor_seq
+        actor = 1 + src_nwid
+        count = aseq.get(actor, 0)
+        aseq[actor] = count + 1
+        seq = (actor << ACTOR_SEQ_BITS) | count
+        dst_node = nwid // self._lanes_per_node
+        rec_msg = self._rec_msg
+        if src_node == dst_node:
+            t_deliver = t_issue + self._local_base_cycles
+            stats.messages_local += 1
+            if rec_msg is not None:
+                rec_msg("local", t_deliver - t_issue)
+        else:
+            # Network.deliver_time inlined (remote leg, recorder off) —
+            # the same arithmetic the coalescer inlines, so parked
+            # delivery times are bit-identical to heap delivery times.
+            chans = self._inj_channels
+            ch = chans.get(src_node)
+            if ch is None:
+                ch = chans[src_node] = InjectionChannel()
+            free_at = ch.free_at
+            start = t_issue if t_issue > free_at else free_at
+            departed = ch.free_at = start + self._msg_occupancy
+            ch.bytes_injected += self._message_bytes
+            t_deliver = departed + self._remote_base_cycles
+            stats.messages_remote += 1
+            if rec_msg is not None:
+                rec_msg("remote", t_deliver - t_issue)
+        stats.messages_sent += 1
+        if self.trace_enabled:
+            self.trace.append(
+                (t_issue, t_deliver, src_nwid, nwid, plan.label)
+            )
+        ln = self._lanes.get(nwid)
+        if ln is None:
+            ln = self.lane(nwid)
+        # Kept sorted by insertion (C-level bisect + memmove on short
+        # lists) so flushes never sort and the drain's earliest-key
+        # check is one tuple index.  seq uniqueness means comparisons
+        # never reach the plan — the heap's own trick.
+        insort(ln.parked, (t_deliver, seq, plan, operands))
+        self._parked_total += 1
+        return t_deliver
+
+    def _flush_parked(self, ln: Lane, cut) -> None:
+        """Execute ``ln``'s parked records with keys below ``cut``.
+
+        ``cut`` is a ``(time, seq)`` key prefix-comparable with parked
+        entries — ``(t, s)`` flushes strictly-earlier deliveries before
+        an incoming event keyed ``(t, s)`` on this lane; ``(t,)`` flushes
+        everything before tick ``t``.  The list is insertion-sorted by
+        :meth:`park_emit`, so the cut is one bisect; runs execute in
+        maximal same-plan groups by the plans' compiled executors, which
+        charge per-record costs in exactly the interpreted order — see
+        ``repro.udweave.ir``.
+        """
+        lst = ln.parked
+        n = bisect_left(lst, cut)
+        if not n:
+            return
+        stats = self.stats
+        rec_batch = self._rec_batch
+        detailed = self.detailed_stats
+        i = 0
+        while i < n:
+            plan = lst[i][2]
+            j = i + 1
+            while j < n and lst[j][2] is plan:
+                j += 1
+            end = plan.batch_fn(ln, lst, i, j)
+            if end > stats.final_tick:
+                stats.final_tick = end
+            cnt = j - i
+            stats.batches_executed += 1
+            stats.records_batched += cnt
+            stats.events_executed += cnt
+            stats.threads_created += cnt
+            stats.threads_terminated += cnt
+            if detailed:
+                stats.events_by_label[plan.label] += cnt
+            if rec_batch is not None:
+                rec_batch(cnt)
+            i = j
+        del lst[:n]
+        self._parked_total -= n
+
+    def _flush_pooled(self, ln: Lane, now: float, reader_nwid: int) -> None:
+        """Flush ``ln`` before a pooled-scratchpad access from a sibling.
+
+        A handler running on ``reader_nwid`` at pop tick ``now`` is about
+        to read/write ``ln``'s scratchpad mid-event.  Every parked record
+        that would have popped before the reader's own delivery —
+        earlier tick, or same tick on a lower-numbered destination (the
+        heap's ``(time, dest, seq)`` order) — must land first.
+        """
+        if ln.network_id < reader_nwid:
+            self._flush_parked(ln, (now, math.inf))
+        else:
+            self._flush_parked(ln, (now,))
+
     def _seal_packets(self) -> None:
         """Close every open packet (a conservative window boundary).
 
@@ -952,6 +1104,25 @@ class Simulator:
 
                 sched = self._scheduler = make_scheduler(self)
             return sched.drain(max_events)
+        # Arm record parking only for the drain shape whose observation
+        # points the flush hooks fully cover: plain sequential, healthy
+        # fabric, no event budget, no watchdog, no per-event observers
+        # that the batch executors do not replicate.  Everything else
+        # simply interprets per event — bit-identical either way.
+        recorder = self.recorder
+        self._park_active = (
+            self._batch_on
+            and max_events is None
+            and self._route is None
+            and self._transport is None
+            and self._fault_msg is None
+            and self._fault_dead is None
+            and self._fault_stall is None
+            and self._watchdog_cycles is None
+            and not self._channels_recorded
+            and not self.network._jitter_on
+            and (recorder is None or not recorder.record_lane_spans)
+        )
         stats = self._drain(max_events, math.inf if until is None else until)
         self._note_quiescence()
         return stats
@@ -1026,6 +1197,12 @@ class Simulator:
         pkt_members: list = []
         pkt_cursor = 0
         pkt_len = 0
+        # Batched dispatch: when parking is armed (or leftovers exist
+        # from a bounded drain), every delivery to a lane first flushes
+        # that lane's parked records with earlier keys — one truthiness
+        # test per event when the list is empty, one bool test when the
+        # feature is off entirely.
+        park_chk = self._park_active or self._parked_total > 0
         try:
             while heap:
                 first = heap[0]
@@ -1093,6 +1270,21 @@ class Simulator:
                             ln = lane_of(nwid)
                         cached_nwid = nwid
                         cached_lane = ln
+                    if park_chk:
+                        lp = ln.parked
+                        if lp:
+                            # Parked records that would have popped
+                            # before this delivery execute now, in key
+                            # order.  The list is sorted, so comparing
+                            # its head keeps the no-op case inline.
+                            e0 = lp[0]
+                            t0 = e0[0]
+                            if t0 < ev_time or (
+                                t0 == ev_time and e0[1] < first[2]
+                            ):
+                                self._flush_parked(
+                                    ln, (ev_time, first[2])
+                                )
                     if fdead is not None and ev_time >= fdead[ln.node]:
                         # Whole-node fail-stop: deliveries to a dead node
                         # are discarded (lanes, threads, and scratchpads
@@ -1245,10 +1437,18 @@ class Simulator:
                             # never equal a lane id, so only plain
                             # records fuse.
                             heappop(heap)
+                            first = nxt
                             rec = nxt[3]
                             ev_time = nxt[0]
                             continue
                     break
+            if self._parked_total:
+                # Drain bound (or heap exhaustion): everything parked
+                # before ``until`` is still owed its execution.
+                cut = (until,)
+                for ln in lanes.values():
+                    if ln.parked:
+                        self._flush_parked(ln, cut)
         finally:
             if pkt is not None and pkt_cursor < pkt_len:
                 # exceptional unwind mid-walk (dispatcher raise): park
@@ -1257,6 +1457,7 @@ class Simulator:
                 nxt = pkt_members[pkt_cursor]
                 heappush(heap, (nxt[0], nxt[1], nxt[2], pkt))
             stats.events_executed += events_executed
+            stats.events_interpreted += events_executed
             if final_tick > stats.final_tick:
                 stats.final_tick = final_tick
             # Watchdog progress survives bounded re-entry (run(until=)

@@ -52,6 +52,18 @@ class SimStats:
     #: remote records that joined an existing packet instead of costing
     #: their own heap push (the savings the coalescing fabric delivers).
     records_coalesced: int = 0
+    #: batch-dispatch executions (``batch_dispatch=True``): one per
+    #: same-plan run of parked records a flush executed array-at-a-time.
+    #: Host-side bookkeeping only — every batched record still counts in
+    #: ``events_executed`` individually.
+    batches_executed: int = 0
+    #: handler events executed through the batch path.  Together with
+    #: ``events_interpreted`` these partition handler events exactly:
+    #: ``records_batched + events_interpreted == events_executed``.
+    records_batched: int = 0
+    #: handler events executed one at a time by the interpreter (every
+    #: event, when batch dispatch is off or unavailable).
+    events_interpreted: int = 0
     dram_reads: int = 0
     dram_writes: int = 0
     dram_bytes_read: int = 0
@@ -133,6 +145,9 @@ class SimStats:
             "messages_host_bound": self.messages_host_bound,
             "packets_sent": self.packets_sent,
             "records_coalesced": self.records_coalesced,
+            "batches_executed": self.batches_executed,
+            "records_batched": self.records_batched,
+            "events_interpreted": self.events_interpreted,
             "dram_reads": self.dram_reads,
             "dram_writes": self.dram_writes,
             "dram_bytes_read": self.dram_bytes_read,

@@ -222,6 +222,49 @@ class GlobalMemory:
             )
         return tuple(region.data[start : start + nwords].tolist())
 
+    def read_words_translated(
+        self, va: int, nwords: int
+    ) -> Tuple[int, int, tuple]:
+        """Fused ``translate`` + ``read_words``: one region lookup.
+
+        Returns ``(memory_node, node_local_offset, values)``.  Every
+        split-phase DRAM read needs both the physical placement and the
+        payload, and the region lookup (bisect + bounds guard) costs as
+        much as either — the simulator hot path calls this instead of
+        the two-step sequence.
+        """
+        region = self.region_of(va)
+        start = region.index_of(va)
+        if start + nwords > region.nwords:
+            raise MemoryError_(
+                f"read of {nwords} words at {va:#x} overruns region "
+                f"{region.name!r}"
+            )
+        node, offset = region.descriptor.translate(va)
+        return node, offset, tuple(region.data[start : start + nwords].tolist())
+
+    def write_words_translated(self, va: int, values) -> Tuple[int, int]:
+        """Fused ``translate`` + ``write_words`` (see read_words_translated).
+
+        Honors an instance-level ``write_words`` override: forked shard
+        workers patch that method to log functional-memory writes for
+        cross-process replication, and fused writes must not slip past
+        the log.
+        """
+        patched = self.__dict__.get("write_words")
+        if patched is not None:
+            patched(va, values)
+            return self.region_of(va).descriptor.translate(va)
+        region = self.region_of(va)
+        start = region.index_of(va)
+        n = len(values)
+        if start + n > region.nwords:
+            raise MemoryError_(
+                f"write of {n} words at {va:#x} overruns region {region.name!r}"
+            )
+        region.data[start : start + n] = values
+        return region.descriptor.translate(va)
+
     def write_words(self, va: int, values) -> None:
         region = self.region_of(va)
         start = region.index_of(va)

@@ -104,6 +104,15 @@ class FlightRecorder:
         #: records those packets carried (sum of the sampled sizes).
         self.packet_records: int = 0
 
+        # -- batched dispatch (histograms tier; batch_dispatch runs) --
+        #: batch-size histogram: one sample per executed parked-record
+        #: run (``repro.udweave.ir``).
+        self.batch_sizes = LogHistogram()
+        #: batches executed by the flush paths.
+        self.batches_recorded: int = 0
+        #: records those batches carried (sum of the sampled sizes).
+        self.batch_records: int = 0
+
         # -- KVMSR phases (phases tier) -------------------------------
         #: (job, phase, start, end) spans, closed.
         self.phase_spans: List[Tuple[str, str, float, float]] = []
@@ -141,6 +150,12 @@ class FlightRecorder:
         self.packet_sizes.add(n_members)
         self.packets_recorded += 1
         self.packet_records += n_members
+
+    def batch(self, n_records: int) -> None:
+        """One batched-dispatch execution of parked records (batch size)."""
+        self.batch_sizes.add(n_records)
+        self.batches_recorded += 1
+        self.batch_records += n_records
 
     def _channel_sample(
         self,
@@ -278,6 +293,9 @@ class FlightRecorder:
             "packet_sizes": copy.deepcopy(self.packet_sizes),
             "packets_recorded": self.packets_recorded,
             "packet_records": self.packet_records,
+            "batch_sizes": copy.deepcopy(self.batch_sizes),
+            "batches_recorded": self.batches_recorded,
+            "batch_records": self.batch_records,
             "phase_spans": list(self.phase_spans),
             "marks": list(self.marks),
             "_open_phases": dict(self._open_phases),
@@ -303,6 +321,9 @@ class FlightRecorder:
         self.packet_sizes = copy.deepcopy(state["packet_sizes"])
         self.packets_recorded = state["packets_recorded"]
         self.packet_records = state["packet_records"]
+        self.batch_sizes = copy.deepcopy(state["batch_sizes"])
+        self.batches_recorded = state["batches_recorded"]
+        self.batch_records = state["batch_records"]
         self.phase_spans = list(state["phase_spans"])
         self.marks = list(state["marks"])
         self._open_phases = dict(state["_open_phases"])
@@ -345,6 +366,9 @@ class FlightRecorder:
         self.packet_sizes.merge(other.packet_sizes)
         self.packets_recorded += other.packets_recorded
         self.packet_records += other.packet_records
+        self.batch_sizes.merge(other.batch_sizes)
+        self.batches_recorded += other.batches_recorded
+        self.batch_records += other.batch_records
         self.phase_spans.extend(other.phase_spans)
         self.marks.extend(other.marks)
         self._open_phases.update(other._open_phases)

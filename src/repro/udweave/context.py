@@ -303,9 +303,9 @@ class LaneContext:
             )
         self.cycles += self.costs.send_dram_with_cont
         runtime = self.runtime
-        gmem = runtime.gmem
-        mem_node, local_offset = gmem.translate(va)
-        values = gmem.read_words(va, nwords)
+        mem_node, local_offset, values = runtime.gmem.read_words_translated(
+            va, nwords
+        )
         operands = values if tag is None else (tag, *values)
         label_id = runtime.resolve_label_id(return_label, self.thread)
         nwid = self.lane.network_id
@@ -346,9 +346,9 @@ class LaneContext:
                 f"DRAM reads move 1..{MAX_DRAM_READ_WORDS} words, got {nwords}"
             )
         self.cycles += self.costs.send_dram_with_cont
-        gmem = self.runtime.gmem
-        mem_node, local_offset = gmem.translate(va)
-        values = gmem.read_words(va, nwords)
+        mem_node, local_offset, values = self.runtime.gmem.read_words_translated(
+            va, nwords
+        )
         t_back = self.sim.dram_transaction(
             None,
             self.time,
@@ -377,9 +377,9 @@ class LaneContext:
         self.cycles += (
             costs.send_dram_with_cont if ack_label is not None else costs.send_dram
         )
-        gmem = self.runtime.gmem
-        mem_node, local_offset = gmem.translate(va)
-        gmem.write_words(va, list(values))
+        mem_node, local_offset = self.runtime.gmem.write_words_translated(
+            va, list(values)
+        )
         response = None
         if ack_label is not None:
             label_id = self.runtime.resolve_label_id(ack_label, self.thread)
@@ -445,7 +445,14 @@ class LaneContext:
                 f"accelerator's {cfg.lanes_per_accel} lanes"
             )
         nwid = cfg.first_lane_of_accel(self.lane.accel) + lane_in_accel
-        return self.sim.lane(nwid)
+        sim = self.sim
+        target = sim.lane(nwid)
+        if sim._parked_total and target.parked:
+            # Batched dispatch: a mid-event peek at a sibling's
+            # scratchpad is an observation point — parked records that
+            # would have popped before this event must land first.
+            sim._flush_pooled(target, sim.now, self.lane.network_id)
+        return target
 
     def sp_read_pooled(self, lane_in_accel: int, key: Any, default: Any = None):
         """Load from a sibling lane's scratchpad within this accelerator.

@@ -139,6 +139,20 @@ class UpDownRuntime:
     def label_name(self, label_id: int) -> str:
         return self.program.label_name(label_id)
 
+    def lower_label(self, label: str, operands, meta: str = ""):
+        """Lower a registered handler to its intrinsic-op IR.
+
+        Returns a :class:`repro.udweave.ir.HandlerPlan` — parkable (with
+        a compiled batch executor) when the body proved batch-safe, a
+        fallback plan carrying the traced ops and refusal reason
+        otherwise.  ``operands`` fixes the trace arity; see
+        ``repro.udweave.ir`` for the safety rules.  Inspection API: the
+        simulator's batch path lowers lazily on its own.
+        """
+        from .ir import lower_label
+
+        return lower_label(self, label, operands, meta)
+
     def resolve_label_id(
         self, label: LabelLike, context_thread: Optional[UDThread] = None
     ) -> int:

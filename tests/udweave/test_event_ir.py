@@ -1,0 +1,197 @@
+"""Event-IR lowering: golden dumps, batch safety, interpreter fallback.
+
+Golden dumps pin the lowered form of every builtin app reduce handler
+(pagerank, bfs, tc, bucket_sort).  Combining-cache and scratchpad key
+reprs embed the owning app's ``uid`` — a process-global counter — so the
+exact-text goldens substitute the live names; the *shape* (op sequence,
+operand sources, batchability verdict) is pinned literally.
+"""
+
+import pytest
+
+from repro.graph import rmat
+from repro.harness import bench_config
+from repro.udweave import UpDownRuntime
+from repro.udweave.ir import (
+    PARK_SAFE_OPS,
+    LoweringUnsupported,
+    Symbol,
+    TraceContext,
+    batch_columns,
+    lower_reduce_entry,
+    render_plan,
+)
+
+GRAPH = rmat(6, seed=7)
+BLOCK = 4096
+
+
+def _job(rt, reduce_cls_name):
+    return next(
+        j
+        for j in rt._kvmsr_jobs.values()
+        if j.reduce_cls is not None
+        and j.reduce_cls.__name__ == reduce_cls_name
+    )
+
+
+class TestGoldenDumps:
+    def test_pagerank_reduce_is_batchable(self):
+        from repro.apps import PageRankApp
+
+        rt = UpDownRuntime(bench_config(2, batch_dispatch=True))
+        PageRankApp(rt, GRAPH, block_size=BLOCK).run(iterations=1)
+        job = _job(rt, "PRReduceTask")
+        plan = job._batch_plan  # lowered lazily on the first emit
+        assert plan is not None and plan.parkable
+        assert render_plan(plan) == (
+            f"handler PRReduceTask::__reduce_entry__\n"
+            f"  binding=HashBinding(seed=0)\n"
+            f"  batchable\n"
+            f"  CC_ADD cache={job.payload.cache.name} key=op[1] delta=op[2]\n"
+            f"  KVR_RETURN job={job.job_id}\n"
+            f"  TERMINATE"
+        )
+        rt.shutdown()
+
+    def test_bucket_sort_count_batchable_scatter_falls_back(self):
+        import numpy as np
+
+        from repro.apps.bucket_sort import BucketSortApp
+
+        rt = UpDownRuntime(bench_config(2, batch_dispatch=True))
+        vals = np.arange(500, dtype=np.int64)[::-1].copy()
+        BucketSortApp(rt, vals).run()
+        count = _job(rt, "SortCountReduce")
+        plan = count._batch_plan
+        assert plan is not None and plan.parkable
+        assert render_plan(plan) == (
+            f"handler SortCountReduce::__reduce_entry__\n"
+            f"  binding=HashBinding(seed=0)\n"
+            f"  batchable\n"
+            f"  CC_ADD cache={count.payload.cache.name} "
+            f"key=op[1] delta=op[2]\n"
+            f"  KVR_RETURN job={count.job_id}\n"
+            f"  TERMINATE"
+        )
+        # the scatter phase appends to a raw scratchpad list — the trace
+        # meets a Symbol where a list belongs and aborts
+        scatter = _job(rt, "SortScatterReduce")
+        assert scatter._batch_plan is None and scatter._batch_tried
+        splan = lower_reduce_entry(rt, scatter, (scatter.job_id, 3, 11))
+        assert not splan.parkable
+        assert splan.reason.startswith("trace aborted: AttributeError")
+        assert [op[0] for op in splan.ops] == ["CHARGE", "SCRATCH_RW"]
+        rt.shutdown()
+
+    def test_bfs_reduce_falls_back_on_raw_scratchpad(self):
+        from repro.apps import BFSApp
+
+        rt = UpDownRuntime(bench_config(2, batch_dispatch=True))
+        BFSApp(rt, GRAPH, block_size=BLOCK).run(root=0)
+        job = _job(rt, "BFSReduce")
+        assert job._batch_plan is None  # nothing ever parked
+        plan = lower_reduce_entry(rt, job, (job.job_id, 1, 0, 1))
+        assert not plan.parkable
+        # sp_read's result steers an `is None` check the trace cannot
+        # see; the SCRATCH_RW whitelist refusal is what keeps that
+        # silently-mistraced arm from ever executing as a batch
+        assert plan.reason == "op SCRATCH_RW is not batch-safe"
+        assert [op[0] for op in plan.ops] == [
+            "CHARGE", "SCRATCH_RW", "CHARGE", "KVR_RETURN", "TERMINATE",
+        ]
+        assert "SCRATCH_RW" not in PARK_SAFE_OPS
+        rt.shutdown()
+
+    def test_tc_reduce_falls_back_on_key_unpack(self):
+        from repro.apps import TriangleCountApp
+
+        rt = UpDownRuntime(bench_config(2, batch_dispatch=True))
+        TriangleCountApp(rt, GRAPH, block_size=BLOCK).run()
+        job = _job(rt, "TCReduceTask")
+        assert job._batch_plan is None
+        plan = lower_reduce_entry(rt, job, (job.job_id, (1, 2)))
+        assert not plan.parkable
+        assert plan.reason == (
+            "symbolic operand 'op1' used in unsupported computation"
+        )
+        assert plan.ops == []  # aborted before the first intrinsic
+        rt.shutdown()
+
+
+class TestTraceSafety:
+    def test_symbol_refuses_computation(self):
+        s = Symbol(1, "op1")
+        for expr in (
+            lambda: s + 1,
+            lambda: 1 + s,
+            lambda: s < 2,
+            lambda: bool(s),
+            lambda: len(s),
+            lambda: iter(s),
+            lambda: s == 0,
+            lambda: s != 0,
+            lambda: s[0],
+        ):
+            with pytest.raises(LoweringUnsupported):
+                expr()
+
+    def test_trace_context_refuses_machine_state(self):
+        rt = UpDownRuntime(bench_config(2))
+        tctx = TraceContext(rt)
+        for attr in ("lane", "sim", "record"):
+            with pytest.raises(LoweringUnsupported):
+                getattr(tctx, attr)
+        with pytest.raises(LoweringUnsupported):
+            tctx.send_dram_read(0, 1, "reply")
+        with pytest.raises(LoweringUnsupported):
+            tctx.spawn(0, "X::y")
+        with pytest.raises(LoweringUnsupported):
+            tctx.ud_print("hi")  # unknown intrinsic via __getattr__
+        rt.shutdown()
+
+
+class TestFallbackParity:
+    def test_unlowerable_handler_runs_interpreted_identically(self):
+        """BFS never lowers — batch on must be byte-for-byte inert."""
+        from repro.apps import BFSApp
+
+        snaps = {}
+        parents = {}
+        for batch in (False, True):
+            rt = UpDownRuntime(bench_config(2, batch_dispatch=batch))
+            res = BFSApp(rt, GRAPH, block_size=BLOCK).run(root=0)
+            snaps[batch] = rt.sim.stats.scalar_snapshot()
+            parents[batch] = list(res.parents)
+            assert rt.sim.stats.records_batched == 0
+            assert rt.sim.stats.batches_executed == 0
+            rt.shutdown()
+        assert snaps[True] == snaps[False]
+        assert parents[True] == parents[False]
+
+
+class TestRecordBatchColumns:
+    def test_columns_and_order(self):
+        import numpy as np
+
+        from repro.udweave.ir import HandlerPlan
+
+        plan = HandlerPlan("PRReduceTask::__reduce_entry__", 7, [], True)
+        entries = [
+            (10.0, 3, plan, (0, 5, 0.25)),
+            (10.0, 4, plan, (0, 6, 0.5)),
+            (12.5, 1, plan, (0, 5, 0.125)),
+        ]
+        batch = batch_columns(entries, 0, 3)
+        assert len(batch) == 3
+        assert batch.label == "PRReduceTask::__reduce_entry__"
+        assert batch.times.dtype == np.float64
+        assert batch.seqs.dtype == np.int64
+        assert list(batch.times) == [10.0, 10.0, 12.5]
+        assert list(batch.seqs) == [3, 4, 1]
+        assert len(batch.operands) == 3
+        assert list(batch.operands[1]) == [5, 6, 5]
+        assert batch.is_sorted()  # (time, seq) lexicographic
+        assert not batch_columns(entries[::-1], 0, 3).is_sorted()
+        sub = batch_columns(entries, 1, 2)
+        assert len(sub) == 1 and list(sub.operands[2]) == [0.5]
