@@ -1,0 +1,101 @@
+"""CI smoke: a short service soak's SLO verdict is deterministic.
+
+Runs one fixed seeded steady-QPS soak under a deterministic 1% message
+drop plan with ack/retry delivery, three times — twice sequentially with
+the same seed, once with ``shards=2`` — and asserts:
+
+* the healthy machine meets its SLO (the verdict passes, and the plan
+  actually dropped messages, so the pass is earned, not vacuous);
+* the two same-seed runs produce byte-identical verdicts and result
+  fingerprints (latency histograms, per-request statuses, admission
+  counters, transport give-up set);
+* the sharded run reproduces the sequential one exactly — conservative
+  sharding is bit-exact even for interleaved open-loop stepping.
+
+Any mismatch is a determinism regression: exit 1 with the differing
+verdicts printed for triage.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py [--drop-rate 0.01]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+
+def run_once(drop_rate: float, shards: int = 1):
+    from repro.faults import FaultPlan
+    from repro.harness import run_service
+    from repro.service import SLOSpec, ServiceWorkload, SteadyArrivals
+
+    wl = ServiceWorkload(seed=21, n_vertices=64)
+    reqs = wl.requests(SteadyArrivals(gap_cycles=2500.0).times(80))
+    t0 = time.perf_counter()
+    rec = run_service(
+        reqs,
+        nodes=4,
+        slo=SLOSpec(),
+        faults=FaultPlan(seed=13, drop_rate=drop_rate),
+        reliable=True,
+        watchdog_cycles=100_000.0,
+        shards=shards,
+    )
+    svc = rec.extra["service"]
+    return svc, time.perf_counter() - t0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--drop-rate", type=float, default=0.01)
+    args = parser.parse_args(argv)
+
+    first, t1 = run_once(args.drop_rate)
+    rerun, t2 = run_once(args.drop_rate)
+    sharded, t3 = run_once(args.drop_rate, shards=2)
+
+    failures = []
+    if first.fault_counts.get("msg_drop", 0) == 0:
+        failures.append(
+            "the fault plan dropped nothing — the soak is vacuous; "
+            "raise --drop-rate"
+        )
+    if not first.verdict.passed:
+        failures.append(
+            f"healthy soak failed its SLO: {first.verdict.violations}"
+        )
+    if rerun.fingerprint() != first.fingerprint():
+        failures.append("same-seed rerun produced a different fingerprint")
+    if sharded.fingerprint() != first.fingerprint():
+        failures.append("shards=2 produced a different fingerprint")
+    if not (
+        first.verdict.to_dict()
+        == rerun.verdict.to_dict()
+        == sharded.verdict.to_dict()
+    ):
+        failures.append("verdicts differ across same-seed runs")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        for name, svc in (("run1", first), ("run2", rerun), ("shards2", sharded)):
+            print(f"--- {name} verdict ---")
+            print(json.dumps(svc.verdict.to_dict(), indent=2))
+        return 1
+    print(
+        f"service smoke OK: verdict passed with "
+        f"{first.fault_counts.get('msg_drop', 0)} drops recovered "
+        f"({first.status_counts['ok']} ok / "
+        f"{first.status_counts['deadline_miss']} miss / "
+        f"{first.status_counts['lost']} lost); same-seed rerun and "
+        f"shards=2 bit-identical "
+        f"({t1:.1f}s / {t2:.1f}s / {t3:.1f}s host)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

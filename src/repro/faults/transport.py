@@ -98,6 +98,11 @@ class ReliableTransport:
         costs = sim.config.costs
         self._sp_cost = float(costs.scratchpad_access)
         self._send_cost = float(costs.send_message)
+        #: abandoned deliveries as ``(t, src_lane, dst_lane, seq)`` —
+        #: kept regardless of whether a flight recorder is attached, so
+        #: SLO verdicts (``repro.service``) can name what was lost
+        #: instead of only counting ``stats.transport_give_ups``.
+        self.give_up_log: list = []
 
     # ------------------------------------------------------------------
     # Sender side
@@ -146,6 +151,7 @@ class ReliableTransport:
         if attempt > self.max_retries:
             del sp[(_PEND, dst, seq)]
             sim.stats.transport_give_ups += 1
+            self.give_up_log.append((start, lane.network_id, dst, seq))
             rec_fault = sim._rec_fault
             if rec_fault is not None:
                 rec_fault("rdt_give_up", start, (lane.network_id, dst, seq))

@@ -24,6 +24,7 @@ from .runner import (
     run_ingestion,
     run_pagerank,
     run_partial_match,
+    run_service,
     run_triangle_count,
 )
 from .sweep import (
@@ -44,6 +45,7 @@ __all__ = [
     "run_triangle_count",
     "run_ingestion",
     "run_partial_match",
+    "run_service",
     "DEFAULT_MAX_EVENTS",
     "sweep",
     "speedups",

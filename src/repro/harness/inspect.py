@@ -90,7 +90,7 @@ def occupancy_report(sim: Simulator, top: int = 8) -> str:
     ):
         lines.append(
             f"{title} (node, admits, bytes, occupancy_share, "
-            "mean_wait, max_wait)"
+            "mean_wait, wait_p50, wait_p99, max_wait)"
         )
         rows = sorted(
             by_node.items(), key=lambda kv: -kv[1].occupancy_sum
@@ -98,14 +98,22 @@ def occupancy_report(sim: Simulator, top: int = 8) -> str:
         if not rows:
             lines.append("  (no traffic)")
         for node, ch in rows[:top]:
+            # per-node p50/p99 queue wait (power-of-two bucket bounds) —
+            # the number an admission-control threshold is tuned against
             lines.append(
                 f"{node:4}   {ch.admits:8}   {ch.bytes:10}   "
                 f"{ch.occupancy_sum / makespan:6.1%}   "
-                f"{ch.mean_wait:8.1f}   {ch.wait_max:8.1f}"
+                f"{ch.mean_wait:8.1f}   "
+                f"{ch.wait_hist.quantile_bound(0.5):8.1f}   "
+                f"{ch.wait_hist.quantile_bound(0.99):8.1f}   "
+                f"{ch.wait_max:8.1f}"
             )
         lines.append(
             f"queue wait: count={wait_hist.count} "
-            f"mean={wait_hist.mean:.1f} max={wait_hist.max:.1f}"
+            f"mean={wait_hist.mean:.1f} "
+            f"p50={wait_hist.quantile_bound(0.5):.1f} "
+            f"p99={wait_hist.quantile_bound(0.99):.1f} "
+            f"max={wait_hist.max:.1f}"
         )
         lines.append("")
     return "\n".join(lines).rstrip()

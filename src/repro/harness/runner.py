@@ -26,7 +26,7 @@ from repro.apps.tform import Record
 from repro.apps.triangle import TriangleCountApp
 from repro.graph.csr import CSRGraph
 from repro.machine.config import MachineConfig, bench_machine
-from repro.machine.simulator import QuiescenceStall
+from repro.machine.simulator import QuiescenceStall, SimulationError
 from repro.observe import make_recorder
 from repro.udweave import UpDownRuntime
 
@@ -318,4 +318,81 @@ def run_partial_match(
         seconds=res.mean_latency_seconds,
         metric=1.0 / res.mean_latency_seconds if res.mean_latency_seconds else 0,
         extra=_attach_recorder({"alerts": len(res.alerts), "stats": res.stats}, rt),
+    )
+
+
+def run_service(
+    requests,
+    nodes: int,
+    admission=None,
+    slo=None,
+    patterns=None,
+    step_cycles: float = 4_000.0,
+    drain_grace_cycles: float = 400_000.0,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    detailed_stats: bool = False,
+    record="histograms",
+    shards: int = 1,
+    parallel: bool = False,
+    faults=None,
+    reliable=False,
+    watchdog_cycles: Optional[float] = None,
+    **machine_overrides,
+) -> RunRecord:
+    """One always-on service run on a fresh scaled machine.
+
+    ``requests`` is the materialized open-loop stream (see
+    :meth:`repro.service.ServiceWorkload.requests`); ``admission`` and
+    ``slo`` are the optional :class:`~repro.service.AdmissionControl`
+    and :class:`~repro.service.SLOSpec`.  Records per-request latency
+    histograms by default (``record="histograms"``).
+
+    There is no quiescence requirement here: a service run ends when the
+    drain grace expires, and unanswered requests are *accounted* (the
+    ``lost`` status the SLO verdict checks) rather than waited for — a
+    lazily-cancelled retransmit timer left past the horizon is normal.
+
+    ``RunRecord.seconds`` is the simulated wall time; ``metric`` is
+    completed requests per simulated second.  The full
+    :class:`~repro.service.ServiceResult` (verdict included when ``slo``
+    is given) lands in ``extra["service"]``.
+    """
+    from repro.service import DEFAULT_PATTERNS, ServiceApp, ServiceHarness
+
+    if parallel:
+        raise SimulationError(
+            "run_service needs bounded stepping (run(until=)), which "
+            "forked workers (parallel=True) cannot do; use in-process "
+            "shards (parallel=False) instead"
+        )
+    rt = _bench_runtime(
+        nodes, detailed_stats, record, machine_overrides, shards, parallel,
+        faults, reliable, watchdog_cycles,
+    )
+    app = ServiceApp(
+        rt, patterns=patterns if patterns is not None else DEFAULT_PATTERNS
+    )
+    harness = ServiceHarness(
+        app,
+        admission=admission,
+        step_cycles=step_cycles,
+        drain_grace_cycles=drain_grace_cycles,
+    )
+    try:
+        res = harness.run(requests, slo=slo, max_events=max_events)
+    finally:
+        rt.shutdown()
+    completed = res.status_counts["ok"] + res.status_counts["deadline_miss"]
+    return RunRecord(
+        nodes=nodes,
+        seconds=res.elapsed_seconds,
+        metric=completed / res.elapsed_seconds if res.elapsed_seconds else 0,
+        extra=_attach_recorder(
+            {
+                "service": res,
+                "stats": res.stats,
+                "verdict": res.verdict,
+            },
+            rt,
+        ),
     )

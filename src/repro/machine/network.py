@@ -118,6 +118,22 @@ class Network:
             ch = self._reply[node] = InjectionChannel()
         return ch
 
+    def injection_backlog(self, node: int, t: float) -> float:
+        """Cycles a transfer arriving at ``t`` would wait to enter
+        ``node``'s injection port — zero when the channel is free.
+
+        The admission-control signal: ``repro.service`` reads this at
+        request-admission time to shed or defer under backpressure
+        instead of queueing unboundedly.  Pure read — no channel state
+        changes — so sampling it between bounded drains is safe and
+        bit-identical across shard counts.
+        """
+        ch = self._injection.get(node)
+        if ch is None:
+            return 0.0
+        backlog = ch.free_at - t
+        return backlog if backlog > 0.0 else 0.0
+
     def latency(self, src_node: int, dst_node: int) -> float:
         """One-way message latency in cycles."""
         base = self._local_base if src_node == dst_node else self._remote_base

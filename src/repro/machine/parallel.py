@@ -176,6 +176,11 @@ class ShardScheduler(_ShardRouter):
         super().__init__(sim)
         self.heaps: List[list] = [[] for _ in range(self.shards)]
         self._host_entries: List[tuple] = []
+        #: persistent epoch-window end — survives bounded ``drain(until=)``
+        #: re-entries so a stepped run opens windows at exactly the pops
+        #: an un-stepped run (and the sequential drain's virtual windows)
+        #: would, keeping packet sealing shard- and stepping-invariant.
+        self._win_end: float = 0.0
         sim._route = self._route
         # adopt anything injected before the first drain
         pending, sim._heap = sim._heap, []
@@ -188,39 +193,60 @@ class ShardScheduler(_ShardRouter):
             return
         heapq.heappush(self.heaps[self.shard_of_entry(entry)], entry)
 
-    def drain(self, max_events: Optional[int]):
+    def drain(self, max_events: Optional[int], until: Optional[float] = None):
+        """Drain the shard heaps; ``until`` bounds the drain like the
+        sequential :meth:`Simulator.run` bound: only events strictly
+        before that tick execute, later entries stay heaped for re-entry.
+        Epoch windows are clamped to the bound — always safe, since any
+        window no wider than ``t_next + lookahead`` preserves the
+        conservative-synchronization argument.
+        """
         sim = self.sim
         heaps = self.heaps
         lookahead = self.lookahead
         stats = sim.stats
         budget = max_events
+        bound = math.inf if until is None else until
         while True:
             t_next = math.inf
             for heap in heaps:
                 if heap and heap[0][0] < t_next:
                     t_next = heap[0][0]
-            if t_next == math.inf:
+            if t_next >= bound:
                 break
-            until = t_next + lookahead
-            # Epoch boundary: seal open coalescing packets so what a
-            # packet collects is fixed before any shard advances — the
-            # sequential drain seals at exactly this pop via its virtual
-            # windows (no-op when coalescing is off).
-            sim._seal_packets()
+            if t_next >= self._win_end:
+                # Epoch boundary: seal open coalescing packets so what a
+                # packet collects is fixed before any shard advances —
+                # the sequential drain seals at exactly this pop via its
+                # virtual windows (no-op when coalescing is off).  A
+                # bounded drain can stop mid-window; re-entry then
+                # continues the old window rather than opening (and
+                # sealing at) one the un-stepped run never had.
+                sim._seal_packets()
+                self._win_end = t_next + lookahead
+            win_until = self._win_end if self._win_end < bound else bound
             for shard in range(self.shards):
                 heap = heaps[shard]
-                if not heap or heap[0][0] >= until:
+                if not heap or heap[0][0] >= win_until:
                     continue
                 sim._heap = heap
                 before = stats.events_executed
                 try:
-                    sim._drain(budget, until)
+                    sim._drain(budget, win_until)
                 finally:
                     sim._heap = []
                 if budget is not None:
                     budget -= stats.events_executed - before
         self._flush_host()
-        sim._note_quiescence()
+        # quiescence verdict: the shard heaps (not sim._heap, empty by
+        # construction here) hold whatever a bounded drain left queued
+        pending = sim._live_threads()
+        stats.pending_threads = pending
+        stats.quiesced = (
+            pending == 0
+            and sim._parked_total == 0
+            and not any(heaps)
+        )
         return stats
 
     def close(self) -> None:
@@ -269,8 +295,13 @@ class ParallelExecutor(_ShardRouter):
     # Parent side
     # ------------------------------------------------------------------
 
-    def drain(self, max_events: Optional[int]):
+    def drain(self, max_events: Optional[int], until: Optional[float] = None):
         sim = self.sim
+        if until is not None:
+            raise SimulationError(
+                "bounded stepping (until=) is not supported with "
+                "parallel=True forked workers; use in-process shards"
+            )
         if self._broken:
             raise SimulationError(
                 "parallel executor is no longer usable (a worker failed "

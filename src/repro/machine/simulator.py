@@ -1074,7 +1074,19 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def inject(self, record: MessageRecord, t: float = 0.0) -> None:
-        """Host-side program start: deliver ``record`` without fabric cost."""
+        """Host-side program start: deliver ``record`` without fabric cost.
+
+        Injection re-arms the liveness watchdog: the stall the watchdog
+        measures is *since the last admitted event*, not absolute
+        simulated time.  Open-loop service traffic legitimately leaves
+        the machine idle between bursts — only retry timers and poll
+        loops (idle-labeled events) execute across the gap — and a
+        request admitted at a future tick is proof the idleness is
+        intentional.  A genuinely stalled run (no new admissions, only
+        idle traffic advancing time) still trips.
+        """
+        if t > self._wd_last_progress:
+            self._wd_last_progress = t
         self._push(t, record, 0)
 
     def run(
@@ -1089,21 +1101,27 @@ class Simulator:
         ``until`` bounds the drain: only events strictly before that tick
         execute, and the heap (with everything at or after ``until``)
         stays intact, so the caller can re-enter — the bounded stepping
-        the conservative epoch driver is built on.  Unavailable when
-        ``shards > 1`` (the shard scheduler owns windowing there).
+        the conservative epoch driver (and the service harness's
+        interleaved open-loop stepping) is built on.  With in-process
+        shards the bound is forwarded to the shard scheduler, which
+        clamps its epoch windows to it; forked workers (``parallel=True``)
+        keep simulation state out of the host process between drains, so
+        bounded stepping is rejected there.
         """
         if self.shards > 1:
-            if until is not None:
+            if until is not None and self.parallel:
                 raise SimulationError(
-                    "bounded stepping (until=) is owned by the shard "
-                    "scheduler when shards > 1"
+                    "bounded stepping (until=) is not supported with "
+                    "parallel=True forked workers (simulation state lives "
+                    "in the children between drains); use in-process "
+                    "shards (parallel=False) for interleaved stepping"
                 )
             sched = self._scheduler
             if sched is None:
                 from .parallel import make_scheduler
 
                 sched = self._scheduler = make_scheduler(self)
-            return sched.drain(max_events)
+            return sched.drain(max_events, until)
         # Arm record parking only for the drain shape whose observation
         # points the flush hooks fully cover: plain sequential, healthy
         # fabric, no event budget, no watchdog, no per-event observers

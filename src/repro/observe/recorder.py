@@ -28,7 +28,10 @@ class RecorderError(ValueError):
 class ChannelStats:
     """Per-node accumulator for one serially-occupied channel."""
 
-    __slots__ = ("admits", "bytes", "wait_sum", "occupancy_sum", "wait_max")
+    __slots__ = (
+        "admits", "bytes", "wait_sum", "occupancy_sum", "wait_max",
+        "wait_hist",
+    )
 
     def __init__(self) -> None:
         self.admits: int = 0
@@ -36,6 +39,9 @@ class ChannelStats:
         self.wait_sum: float = 0.0
         self.occupancy_sum: float = 0.0
         self.wait_max: float = 0.0
+        #: per-node queue-wait distribution — backpressure thresholds are
+        #: tuned off its p50/p99 (``harness.inspect.occupancy_report``).
+        self.wait_hist: LogHistogram = LogHistogram()
 
     @property
     def mean_wait(self) -> float:
@@ -177,6 +183,7 @@ class FlightRecorder:
         ch.occupancy_sum += occupancy
         if wait > ch.wait_max:
             ch.wait_max = wait
+        ch.wait_hist.add(wait)
         wait_hist.add(wait)
         if self.record_channel_events:
             if len(events) < self._max_channel_events:
@@ -356,6 +363,7 @@ class FlightRecorder:
                 dst.occupancy_sum += ch.occupancy_sum
                 if ch.wait_max > dst.wait_max:
                     dst.wait_max = ch.wait_max
+                dst.wait_hist.merge(ch.wait_hist)
         self.inj_wait.merge(other.inj_wait)
         self.dram_wait.merge(other.dram_wait)
         self.inj_events.extend(other.inj_events)

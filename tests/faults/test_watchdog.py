@@ -106,6 +106,53 @@ class TestLostCredit:
         assert any(m["outstanding"] > 0 for m in credits)
 
 
+class TestRearmOnInjection:
+    """Host injections count as progress: intentional idle gaps (open-loop
+    traffic between bursts) must not trip the watchdog, while a genuine
+    stall — idle events advancing time with nothing admitted — still does."""
+
+    def _sim(self, watchdog=1_000.0):
+        # dispatcher models a poll loop: executing "work" schedules
+        # *device-side* idle polls (like KVMSR's quiescence poll or an
+        # rdt retry timer) spanning a gap far beyond the watchdog
+        def dispatch(sim, lane, record, start):
+            if record.label == "work" and not dispatch.armed:
+                dispatch.armed = True
+                for t in (2_000.0, 4_000.0, 6_000.0):
+                    sim._push(t, MessageRecord(0, NEW_THREAD, "idle_poll"), 1)
+            return 1.0
+
+        dispatch.armed = False
+        sim = Simulator(
+            bench_machine(nodes=1),
+            dispatcher=dispatch,
+            watchdog_cycles=watchdog,
+        )
+        sim.mark_idle_labels({"idle_poll"})
+        return sim
+
+    def test_future_injection_covers_the_idle_gap(self):
+        sim = self._sim()
+        sim.inject(MessageRecord(0, NEW_THREAD, "work"), t=0.0)
+        # the next burst is already injected at t=7k, which rearms the
+        # progress mark past every mid-gap idle event
+        sim.inject(MessageRecord(0, NEW_THREAD, "work"), t=7_000.0)
+        stats = sim.run()
+        assert stats.quiesced and stats.events_executed == 5
+
+    def test_genuine_stall_still_trips(self):
+        sim = self._sim()
+        sim.inject(MessageRecord(0, NEW_THREAD, "work"), t=0.0)
+        with pytest.raises(QuiescenceStall, match="idle/control"):
+            sim.run()
+
+    def test_rearm_never_moves_the_mark_backwards(self):
+        sim = self._sim()
+        sim.inject(MessageRecord(0, NEW_THREAD, "work"), t=5_000.0)
+        sim.inject(MessageRecord(0, NEW_THREAD, "work"), t=0.0)  # stale t
+        assert sim._wd_last_progress == 5_000.0
+
+
 class TestQuiescedVersusStalled:
     def test_bounded_run_is_not_quiesced(self):
         """An ``until=`` window leaves the heap populated: not quiesced."""

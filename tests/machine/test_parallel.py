@@ -99,14 +99,38 @@ class TestShardValidation:
                 shards=2,
             )
 
-    def test_until_owned_by_scheduler_when_sharded(self):
+    def test_until_rejected_for_forked_workers(self):
+        # in-process shards clamp their epoch windows to the bound; forked
+        # workers keep simulation state in the children between drains, so
+        # bounded stepping is rejected there (before any fork happens)
         sim = Simulator(
             bench_machine(nodes=2),
             dispatcher=null_dispatcher(),
             shards=2,
+            parallel=True,
         )
         with pytest.raises(SimulationError, match="until"):
             sim.run(until=100.0)
+
+    def test_in_process_shards_honor_until(self):
+        disp = null_dispatcher(cycles=1.0)
+        cfg = bench_machine(nodes=2)
+        sim = Simulator(cfg, dispatcher=disp, shards=2)
+        # one event per shard per tick, so both shard heaps stay populated
+        other = cfg.lanes_per_node  # first lane of node 1 (shard 1)
+        for i, t in enumerate((10.0, 20.0, 30.0)):
+            sim.inject(MessageRecord(0, NEW_THREAD, f"a{i}"), t=t)
+            sim.inject(MessageRecord(other, NEW_THREAD, f"b{i}"), t=t)
+        sim.run(until=15.0)
+        assert sorted(label for _, label, _ in disp.executed) == ["a0", "b0"]
+        assert not sim.stats.quiesced  # later events still queued
+        sim.run(until=25.0)
+        assert sorted(label for _, label, _ in disp.executed) == [
+            "a0", "a1", "b0", "b1"
+        ]
+        sim.run()  # unbounded finishes the rest
+        assert len(disp.executed) == 6
+        assert sim.stats.quiesced
 
     def test_cross_shard_blocking_read_rejected(self):
         sim = Simulator(

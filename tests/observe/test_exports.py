@@ -147,6 +147,21 @@ class TestOccupancyReport:
         assert "dram channel" in text
         assert "%" in text
 
+    def test_per_node_queue_wait_percentiles(self, recorded_run):
+        text = occupancy_report(recorded_run.sim)
+        # per-node columns plus the aggregate summary line
+        assert "wait_p50" in text and "wait_p99" in text
+        assert "p50=" in text and "p99=" in text
+        # the p99 bound is a power-of-two bucket edge at least the p50's
+        rec = recorded_run.sim.recorder
+        for ch in rec.inj_by_node.values():
+            if ch.admits == 0:
+                continue
+            p50 = ch.wait_hist.quantile_bound(0.5)
+            p99 = ch.wait_hist.quantile_bound(0.99)
+            assert p99 >= p50
+            assert ch.wait_hist.count == ch.admits
+
     def test_unavailable_without_channel_tier(self, rmat_s6):
         rt = UpDownRuntime(
             bench_machine(nodes=2), recorder=make_recorder("phases")

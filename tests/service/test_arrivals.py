@@ -1,0 +1,91 @@
+"""Arrival processes: deterministic, monotone, and shaped as labeled."""
+
+import math
+
+import pytest
+
+from repro.service import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    SteadyArrivals,
+)
+
+
+class TestSteady:
+    def test_constant_gap(self):
+        times = SteadyArrivals(gap_cycles=100.0).times(5)
+        assert times == [0.0, 100.0, 200.0, 300.0, 400.0]
+
+    def test_start_offset(self):
+        assert SteadyArrivals(50.0, start_cycles=7.0).times(2) == [7.0, 57.0]
+
+    def test_rejects_nonpositive_gap(self):
+        with pytest.raises(ValueError):
+            SteadyArrivals(0.0)
+
+
+class TestPoisson:
+    def test_deterministic_per_seed(self):
+        a = PoissonArrivals(1000.0, seed=3).times(50)
+        b = PoissonArrivals(1000.0, seed=3).times(50)
+        assert a == b
+
+    def test_seeds_differ(self):
+        assert PoissonArrivals(1000.0, seed=3).times(20) != PoissonArrivals(
+            1000.0, seed=4
+        ).times(20)
+
+    def test_prefix_stable(self):
+        # counter-keyed draws: asking for more arrivals never changes
+        # the ones already generated
+        assert (
+            PoissonArrivals(1000.0, seed=3).times(100)[:20]
+            == PoissonArrivals(1000.0, seed=3).times(20)
+        )
+
+    def test_mean_gap_roughly_matches(self):
+        times = PoissonArrivals(1000.0, seed=1).times(4000)
+        mean = times[-1] / (len(times) - 1)
+        assert 900.0 < mean < 1100.0
+
+    def test_strictly_increasing(self):
+        times = PoissonArrivals(500.0, seed=2).times(200)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+
+class TestBursty:
+    def test_burst_then_idle_structure(self):
+        times = BurstyArrivals(
+            burst_size=3, gap_cycles=10.0, idle_gap_cycles=1000.0
+        ).times(7)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert gaps == [10.0, 10.0, 1000.0, 10.0, 10.0, 1000.0]
+
+    def test_rejects_zero_burst(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(0, 10.0, 100.0)
+
+
+class TestDiurnal:
+    def test_rate_modulates_around_base(self):
+        times = DiurnalArrivals(
+            base_gap_cycles=100.0, amplitude=0.5, day_cycles=40_000.0
+        ).times(400)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # peak-rate gaps shrink toward 1/(1.5 rate), troughs stretch
+        assert min(gaps) < 80.0
+        assert max(gaps) > 120.0
+
+    def test_zero_amplitude_is_steady(self):
+        times = DiurnalArrivals(100.0, 0.0, 1_000.0).times(10)
+        assert times == SteadyArrivals(100.0).times(10)
+
+    def test_amplitude_bounded(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(100.0, 0.99, 1_000.0)
+
+    def test_nondecreasing(self):
+        times = DiurnalArrivals(100.0, 0.9, 5_000.0).times(500)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert all(math.isfinite(t) for t in times)

@@ -1,0 +1,96 @@
+"""Workload generation: pure function of (seed, arrivals), sane payloads."""
+
+import pytest
+
+from repro.service import (
+    DEFAULT_DEADLINES,
+    REQUEST_CLASSES,
+    ServiceMix,
+    ServiceWorkload,
+    SteadyArrivals,
+)
+
+
+def _requests(seed=0, n=100, **kw):
+    wl = ServiceWorkload(seed=seed, **kw)
+    return wl, wl.requests(SteadyArrivals(gap_cycles=100.0).times(n))
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        _, a = _requests(seed=5)
+        _, b = _requests(seed=5)
+        assert a == b
+
+    def test_seeds_differ(self):
+        _, a = _requests(seed=5)
+        _, b = _requests(seed=6)
+        assert a != b
+
+
+class TestShape:
+    def test_ids_sequential_and_arrivals_taken(self):
+        _, reqs = _requests(n=10)
+        assert [r.req_id for r in reqs] == list(range(10))
+        assert [r.t_arrival for r in reqs] == [100.0 * k for k in range(10)]
+
+    def test_all_classes_appear_and_respect_weights(self):
+        wl, reqs = _requests(n=400)
+        counts = wl.class_counts(reqs)
+        assert set(counts) == set(REQUEST_CLASSES)
+        assert all(c > 0 for c in counts.values())
+        # update has weight 4 of 8 — roughly half the stream
+        assert 0.35 < counts["update"] / len(reqs) < 0.65
+
+    def test_deadlines_from_mix(self):
+        _, reqs = _requests(n=50)
+        for r in reqs:
+            assert r.deadline_cycles == DEFAULT_DEADLINES[r.cls]
+
+    def test_payload_shapes(self):
+        wl, reqs = _requests(n=200, n_vertices=16, n_etypes=3)
+        for r in reqs:
+            if r.cls == "update":
+                src, dst, etype, ts = r.payload
+                assert 0 <= src < 16 and 0 <= dst < 16 and 0 <= etype < 3
+            elif r.cls == "exact":
+                src, dst = r.payload
+                assert 0 <= src < 16 and 0 <= dst < 16
+            elif r.cls == "multihop":
+                vid, hops = r.payload
+                assert 0 <= vid < 16 and hops == wl.mix.multihop_hops
+            else:
+                pattern_id, stage, vid = r.payload
+                p = {p.pattern_id: p for p in wl.patterns}[pattern_id]
+                assert 0 <= stage < max(1, len(p.types) - 1)
+                assert 0 <= vid < 16
+
+    def test_queries_bias_to_touched_vertices(self):
+        wl, reqs = _requests(n=300, n_vertices=1024)
+        touched = {r.payload[1] for r in reqs if r.cls == "update"}
+
+        def target(r):
+            return r.payload[0] if r.cls == "multihop" else r.payload[2]
+
+        biased = [r for r in reqs if r.cls in ("multihop", "partial")]
+        hits = [r for r in biased if target(r) in touched]
+        # with 1024 vertices, random targets would almost never land on
+        # touched ones; the bias makes nearly all of them land there
+        assert len(hits) >= len(biased) - 1  # first query may precede updates
+
+
+class TestMix:
+    def test_zero_hops_drops_multihop(self):
+        mix = ServiceMix(multihop_hops=0)
+        assert "multihop" not in dict(mix.weights())
+
+    def test_all_zero_weights_rejected(self):
+        mix = ServiceMix(
+            update_weight=0, exact_weight=0, multihop_weight=0, partial_weight=0
+        )
+        with pytest.raises(ValueError):
+            mix.weights()
+
+    def test_workload_validates_sizes(self):
+        with pytest.raises(ValueError):
+            ServiceWorkload(n_vertices=0)

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.harness",
     "repro.observe",
+    "repro.service",
     "repro.workflows",
     "repro.tools",
 ]
