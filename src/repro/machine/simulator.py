@@ -1512,6 +1512,20 @@ class Simulator:
         if sched is not None:
             sched.close()
 
+    def parallel_metrics(self) -> Optional[dict]:
+        """Hub metrics of the forked-worker transport, or ``None``.
+
+        Populated only for ``parallel=True`` runs: boundary bytes/records
+        shipped through the shared-memory rings, ring overflow (spill)
+        counts, barrier-wait seconds, and the adaptive-window histogram.
+        Kept out of :class:`SimStats` deliberately — these describe the
+        *host-side transport*, not the simulated machine, and must not
+        perturb fingerprint comparisons against sequential runs.
+        """
+        sched = self._scheduler
+        metrics = getattr(sched, "hub_metrics", None)
+        return dict(metrics) if metrics is not None else None
+
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------

@@ -275,6 +275,21 @@ class FlightRecorder:
             max_fault_events=self._max_fault_events,
         )
 
+    def drain_handoff(self) -> "FlightRecorder":
+        """A fresh sibling carrying only the open-phase table forward.
+
+        Per-drain delta reporting for forked workers: after shipping its
+        accumulated telemetry at drain end, a worker rebinds to this
+        fresh recorder so the next drain ships only *new* telemetry (the
+        parent merges deltas into its live recorder instead of
+        rebuilding from a pre-fork snapshot).  Open phase spans must
+        survive the handoff — a phase begun in one drain and ended in
+        the next closes with the original start time.
+        """
+        fresh = self.sibling()
+        fresh._open_phases = dict(self._open_phases)
+        return fresh
+
     def export_state(self) -> Dict[str, Any]:
         """Deep-copy snapshot of all accumulated telemetry.
 

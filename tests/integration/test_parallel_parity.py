@@ -100,6 +100,57 @@ class TestForkedWorkers:
         assert list(par_res.parents) == list(seq_res.parents)
 
 
+class TestForkedWorkerMatrix:
+    """Forked-worker parity across the machine-model feature matrix:
+    packet coalescing (PacketRecord boundary frames), batched dispatch,
+    and injected faults with reliable delivery (fault-delayed ``rdt``
+    records crossing shards) must each stay bit-exact — and the healthy
+    path must never touch the ring-overflow spill channel."""
+
+    def _run(self, parallel, coalescing=False, batch_dispatch=False,
+             faulty=False):
+        from repro.faults import FaultPlan
+
+        rt = UpDownRuntime(
+            bench_config(
+                NODES, coalescing=coalescing, batch_dispatch=batch_dispatch
+            ),
+            faults=FaultPlan(seed=11, drop_rate=0.01) if faulty else None,
+            reliable=faulty,
+            shards=2 if parallel else 1,
+            parallel=parallel,
+        )
+        app = PageRankApp(rt, GRAPH, max_degree=16, block_size=BLOCK)
+        res = app.run(iterations=2, max_events=10_000_000)
+        fp = rt.sim.stats.scalar_snapshot()
+        metrics = rt.sim.parallel_metrics()
+        rt.shutdown()
+        return fp, list(res.ranks), metrics
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            dict(coalescing=True),
+            dict(batch_dispatch=True),
+            dict(faulty=True),
+            dict(coalescing=True, batch_dispatch=True, faulty=True),
+        ],
+        ids=["coalescing", "batch_dispatch", "faulted", "all_on"],
+    )
+    def test_feature_matrix_fingerprint_identical(self, knobs):
+        seq_fp, seq_ranks, _ = self._run(parallel=False, **knobs)
+        par_fp, par_ranks, metrics = self._run(parallel=True, **knobs)
+        assert par_fp == seq_fp
+        assert par_ranks == seq_ranks
+        # acceptance bar: default ring capacity absorbs the whole
+        # boundary stream — the spill path is for pathology only
+        assert metrics["ring_overflows"] == 0
+        if knobs.get("coalescing"):
+            # packet seal points anchor at global next-event times, so
+            # coalescing pins every window to base width
+            assert set(metrics["window_hist"]) == {1}
+
+
 class TestRecordedParallelRun:
     """``record=`` under parallel mode: per-shard recorders are stitched
     into the one recorder the caller holds, and the merged telemetry

@@ -1,0 +1,466 @@
+"""Shared-memory boundary transport: wire codec, rings, spill, adaptivity.
+
+Covers the machine-layer mechanics of the parallel boundary fabric —
+the struct-packed wire codec (every boundary record type, every value
+shape, label interning), the fixed-capacity shared-memory rings
+(wraparound, overflow spill), and the adaptive-lookahead window
+widening — plus end-to-end parity of the paths only real runs exercise
+(spill relay, coalesced packets, fault-delayed records across forked
+workers).  Full application parity lives in
+``tests/integration/test_parallel_parity.py``.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.machine import (
+    MessageRecord,
+    SimulationError,
+    Simulator,
+    bench_machine,
+)
+from repro.machine.events import (
+    NEW_THREAD,
+    BoundaryDecoder,
+    BoundaryEncoder,
+    DramArrival,
+    PacketRecord,
+)
+
+
+def roundtrip(entry, enc=None, dec=None):
+    buf = bytearray()
+    (enc or BoundaryEncoder()).encode_entry(buf, entry)
+    kind, decoded = (dec or BoundaryDecoder()).decode_frame(bytes(buf))
+    assert kind == "entry"
+    return decoded
+
+
+class TestCodecRoundTrip:
+    """Every boundary record type and operand value shape survives the
+    struct-packed wire format bit-for-bit."""
+
+    def test_message_record_all_value_shapes(self):
+        rec = MessageRecord(
+            7,
+            NEW_THREAD,
+            "update",
+            operands=(
+                None,
+                True,
+                False,
+                0,
+                -1,
+                2**40,
+                -(2**70),  # beyond i64: big-int fallback
+                3.25,
+                float("inf"),
+                "text",
+                b"\x00raw\xff",
+                (1, ("nested", 2.5), ()),
+            ),
+            continuation=123456,
+            src_network_id=3,
+            kind="msg",
+            label_id=5,
+        )
+        t, dest, seq, out = roundtrip((100.5, 7, 42, rec))
+        assert (t, dest, seq) == (100.5, 7, 42)
+        for slot in MessageRecord.__slots__:
+            assert getattr(out, slot) == getattr(rec, slot), slot
+        # value round-trip is type-exact, not merely equal (True != 1)
+        for a, b in zip(out.operands, rec.operands):
+            assert type(a) is type(b)
+
+    def test_huge_sequence_numbers(self):
+        rec = MessageRecord(0, NEW_THREAD, "x")
+        _t, _d, seq, _rec = roundtrip((1.0, 0, (1 << 44) * 12345 + 9, rec))
+        assert seq == (1 << 44) * 12345 + 9
+
+    def test_numpy_scalars_take_the_pickle_fallback(self):
+        np = pytest.importorskip("numpy")
+        rec = MessageRecord(
+            1, NEW_THREAD, "np", operands=(np.int64(5), np.float64(0.5))
+        )
+        out = roundtrip((1.0, 1, 2, rec))[3]
+        assert type(out.operands[0]) is np.int64
+        assert type(out.operands[1]) is np.float64
+        assert out.operands == rec.operands
+
+    def test_fault_delayed_records_keep_their_rdt_tags(self):
+        # reliable-transport tags: data / ack / retransmit-timer
+        for rdt in (("d", 3, 7), ("a", 2, 9), ("t", 5, 1, 2)):
+            rec = MessageRecord(2, NEW_THREAD, "h", rdt=rdt)
+            out = roundtrip((5.0, 2, 1, rec))[3]
+            assert out.rdt == rdt
+
+    def test_unresolved_label_ships_the_string(self):
+        rec = MessageRecord(0, NEW_THREAD, "not-yet-interned")
+        out = roundtrip((1.0, 0, 1, rec))[3]
+        assert out.label == "not-yet-interned"
+        assert out.label_id == rec.label_id < 0
+
+    def test_label_interning_announce_then_cached(self):
+        enc, dec = BoundaryEncoder(), BoundaryDecoder()
+        rec = MessageRecord(0, NEW_THREAD, "hot_label", label_id=9)
+        first = bytearray()
+        enc.encode_entry(first, (1.0, 0, 1, rec))
+        second = bytearray()
+        enc.encode_entry(second, (2.0, 0, 2, rec))
+        # the cached form no longer carries the string
+        assert len(second) < len(first)
+        for buf, seq in ((first, 1), (second, 2)):
+            _t, _d, s, out = dec.decode_frame(bytes(buf))[1]
+            assert s == seq
+            assert out.label == "hot_label" and out.label_id == 9
+
+    def test_cached_label_on_fresh_decoder_is_rejected(self):
+        enc = BoundaryEncoder()
+        rec = MessageRecord(0, NEW_THREAD, "lbl", label_id=4)
+        warmup = bytearray()
+        enc.encode_entry(warmup, (1.0, 0, 1, rec))
+        cached = bytearray()
+        enc.encode_entry(cached, (2.0, 0, 2, rec))
+        with pytest.raises(ValueError, match="before announcement"):
+            BoundaryDecoder().decode_frame(bytes(cached))
+
+    def test_dram_arrival_with_and_without_response(self):
+        # the response's network_id (requester lane) differs from the
+        # entry dest (virtual memory-node id) — both must survive
+        resp = MessageRecord(
+            3, NEW_THREAD, "dram_done", operands=(8,), kind="dram"
+        )
+        rec = DramArrival(260, resp, 0, 2, 64, 128, 72)
+        t, dest, seq, out = roundtrip((900.0, 260, 5, rec))
+        assert (t, dest, seq) == (900.0, 260, 5)
+        assert out.network_id == 260
+        assert out.response.network_id == 3
+        assert out.response.label == "dram_done"
+        assert (out.src_node, out.memory_node) == (0, 2)
+        assert (out.nbytes, out.local_offset, out.back_bytes) == (64, 128, 72)
+        bare = DramArrival(261, None, 1, 3, 32, 0, 40)
+        assert roundtrip((901.0, 261, 6, bare))[3].response is None
+
+    def test_packet_record_members_and_cursor(self):
+        pkt = PacketRecord(window_end=1500.0)
+        for i in range(3):
+            pkt.members.append((
+                1000.0 + i,
+                4,
+                10 + i,
+                MessageRecord(
+                    4, NEW_THREAD, "edge", operands=(i,),
+                    src_network_id=1, label_id=2,
+                ),
+            ))
+        pkt.cursor = 1
+        out = roundtrip((1000.0, 4, 10, pkt))[3]
+        assert out.window_end == 1500.0
+        assert out.cursor == 1
+        assert out.open is True  # rebuilt packets re-arm the unwrap
+        assert len(out.members) == 3
+        for (mt, md, ms, mr), (ot, od, os_, orc) in zip(
+            pkt.members, out.members
+        ):
+            assert (mt, md, ms) == (ot, od, os_)
+            assert orc.label == mr.label and orc.operands == mr.operands
+
+    def test_wlog_frame_carries_step_tag(self):
+        enc, dec = BoundaryEncoder(), BoundaryDecoder()
+        buf = bytearray()
+        enc.encode_wlog(buf, 0x4000, [1.0, -7, 2**66], step=3)
+        kind, va, values, step = dec.decode_frame(bytes(buf))
+        assert kind == "wlog"
+        assert va == 0x4000 and step == 3
+        assert values == [1.0, -7, 2**66]
+
+
+def make_ports(capacity, shards=2):
+    from repro.machine.parallel import _RingHub, _WorkerPort
+
+    hub = _RingHub(shards, capacity, multiprocessing.get_context("fork"))
+    return hub, [_WorkerPort(hub, s) for s in range(shards)]
+
+
+class TestRingTransport:
+    """Single-process exercise of the shared-memory rings: both ports
+    live in this test process, so wraparound and cursor arithmetic are
+    checked without scheduling noise."""
+
+    def entry(self, i):
+        return (
+            float(i),
+            0,
+            i,
+            MessageRecord(0, NEW_THREAD, "m", operands=(i,), label_id=1),
+        )
+
+    def test_wraparound_at_tiny_capacity(self):
+        # capacity far below the total traffic: cursors lap the ring
+        # dozens of times and frames split across the wrap point
+        hub, (p0, p1) = make_ports(capacity=128)
+        try:
+            got = []
+            for i in range(100):
+                buf = bytearray()
+                p0.enc[1].encode_entry(buf, self.entry(i))
+                assert p0.try_write(1, bytes(buf), lambda: None, False)
+                p1.drain(got.append)
+            assert p0.wr[1] > 128 * 10  # really wrapped, repeatedly
+            assert [e[2] for e in got] == list(range(100))
+            assert [e[3].operands for e in got] == [(i,) for i in range(100)]
+        finally:
+            hub.release()
+
+    def test_full_ring_spills_only_when_allowed(self):
+        hub, (p0, p1) = make_ports(capacity=128)
+        try:
+            buf = bytearray()
+            p0.enc[1].encode_entry(buf, self.entry(0))
+            frame = bytes(buf)
+            while p0.try_write(1, frame, lambda: None, True):
+                pass  # fill the ring to capacity
+            # may_spill=True reports the overflow instead of blocking
+            assert p0.try_write(1, frame, lambda: None, True) is False
+            # after the consumer drains, the same frame fits again
+            got = []
+            p1.drain(got.append)
+            assert got
+            assert p0.try_write(1, frame, lambda: None, True) is True
+        finally:
+            hub.release()
+
+    def test_oversized_frame_without_spill_is_a_hard_error(self):
+        hub, (p0, _p1) = make_ports(capacity=64)
+        try:
+            huge = bytes(200)
+            assert p0.try_write(1, huge, lambda: None, True) is False
+            with pytest.raises(SimulationError, match="parallel_ring_kib"):
+                p0.try_write(1, huge, lambda: None, False)
+        finally:
+            hub.release()
+
+    def test_wlog_frames_queue_instead_of_delivering(self):
+        hub, (p0, p1) = make_ports(capacity=256)
+        try:
+            buf = bytearray()
+            p0.enc[1].encode_wlog(buf, 0x100, [1, 2], step=4)
+            assert p0.try_write(1, bytes(buf), lambda: None, False)
+            entries = []
+            p1.drain(entries.append)
+            assert entries == []  # wlogs defer to the step-gated queue
+            assert p1.pending_wlogs == [(0, 4, 0x100, [1, 2])]
+        finally:
+            hub.release()
+
+    def test_spilled_frames_continue_the_ring_stream(self):
+        # label announced on a ring frame, then used cached on a frame
+        # that spills: the consumer decodes the spill with the *same*
+        # per-producer decoder, so the cache carries across — and a
+        # fresh decoder (the broken alternative) provably cannot
+        hub, (p0, p1) = make_ports(capacity=4096)
+        try:
+            ring = bytearray()
+            p0.enc[1].encode_entry(ring, self.entry(0))
+            assert p0.try_write(1, bytes(ring), lambda: None, False)
+            spilled = bytearray()
+            p0.enc[1].encode_entry(spilled, self.entry(1))
+            got = []
+            p1.drain(got.append)
+            assert len(got) == 1
+            out = p1.dec[0].decode_frame(bytes(spilled))[1]
+            assert out[3].label == "m"
+            with pytest.raises(ValueError, match="before announcement"):
+                BoundaryDecoder().decode_frame(bytes(spilled))
+        finally:
+            hub.release()
+
+
+def null_dispatcher(cycles=5.0):
+    def dispatch(sim, lane, record, start):
+        return cycles
+
+    return dispatch
+
+
+def cross_dispatcher():
+    """Quiet except for the label ``cross``, which sends one message to
+    the first lane of the other node (a guaranteed boundary record)."""
+
+    def dispatch(sim, lane, record, start):
+        if record.label == "cross":
+            dst = (lane.network_id + sim.config.lanes_per_node) % (
+                sim.config.total_lanes
+            )
+            sim.send(
+                MessageRecord(
+                    dst, NEW_THREAD, "landed",
+                    src_network_id=lane.network_id,
+                ),
+                start + 2.0,
+                src_node=sim.config.node_of(lane.network_id),
+            )
+        return 2.0
+
+    return dispatch
+
+
+def chain_dispatcher(hops):
+    """Every delivery forwards to the next lane round-robin: constant
+    cross-shard traffic, the worst case for the boundary fabric."""
+    executed = []
+
+    def dispatch(sim, lane, record, start):
+        executed.append((lane.network_id, record.label, start))
+        remaining = record.operands[0]
+        if remaining > 0:
+            dst = (lane.network_id + 1) % sim.config.total_lanes
+            sim.send(
+                MessageRecord(
+                    dst, NEW_THREAD, record.label, (remaining - 1,),
+                    src_network_id=lane.network_id,
+                ),
+                start + 2.0,
+                src_node=sim.config.node_of(lane.network_id),
+            )
+        return 2.0
+
+    dispatch.executed = executed
+    return dispatch
+
+
+class TestAdaptiveLookahead:
+    """Quiet windows widen multiplicatively; any boundary record
+    collapses the width back to base; a cap and the coalescing pin are
+    honored — and none of it moves the fingerprint."""
+
+    def _run(self, dispatcher, injections, parallel=True, **overrides):
+        sim = Simulator(
+            bench_machine(nodes=2, **overrides),
+            dispatcher=dispatcher,
+            shards=2,
+            parallel=parallel,
+        )
+        for lane, label, t in injections:
+            sim.inject(MessageRecord(lane, NEW_THREAD, label), t=t)
+        sim.run()
+        fp = sim.stats.scalar_snapshot()
+        metrics = sim.parallel_metrics()
+        sim.shutdown()
+        return fp, metrics
+
+    #: idle gaps are several lookaheads (600 cycles) wide, so every
+    #: window between them completes without boundary records
+    QUIET = [(0, "a", 0.0), (0, "b", 5000.0), (0, "c", 10000.0),
+             (0, "d", 20000.0), (0, "e", 25000.0), (0, "f", 30000.0)]
+
+    def test_quiet_windows_widen_up_to_the_cap(self):
+        fp, metrics = self._run(null_dispatcher(), self.QUIET)
+        hist = metrics["window_hist"]
+        assert max(hist) > 1  # widening actually happened
+        assert max(hist) <= metrics["adaptive_max"] == 8
+        assert sum(hist.values()) == metrics["windows"]
+        assert metrics["boundary_records"] == 0
+        seq_fp, _ = self._run(null_dispatcher(), self.QUIET, parallel=False)
+        assert fp == seq_fp
+
+    def test_boundary_record_collapses_the_window(self):
+        inj = list(self.QUIET)
+        inj[3] = (0, "cross", 20000.0)  # emits one boundary record
+        fp, metrics = self._run(cross_dispatcher(), inj)
+        hist = metrics["window_hist"]
+        assert metrics["boundary_records"] >= 1
+        assert max(hist) > 1
+        # exactly one window runs at base width per quiet ramp-up; a
+        # second base-width window proves the cross record collapsed it
+        assert hist[1] >= 2
+        seq_fp, _ = self._run(cross_dispatcher(), inj, parallel=False)
+        assert fp == seq_fp
+
+    def test_adaptive_max_caps_the_widening(self):
+        _fp, metrics = self._run(
+            null_dispatcher(), self.QUIET, parallel_adaptive_max=2
+        )
+        assert max(metrics["window_hist"]) <= 2
+
+    def test_coalescing_pins_windows_to_base_width(self):
+        _fp, metrics = self._run(
+            null_dispatcher(), self.QUIET, coalescing=True
+        )
+        assert metrics["adaptive_max"] == 1
+        assert set(metrics["window_hist"]) == {1}
+
+
+def spray_dispatcher():
+    """Every delivery fans out to *every other lane*: the densest
+    boundary traffic the fabric can see, sized to overflow tiny rings."""
+
+    def dispatch(sim, lane, record, start):
+        remaining = record.operands[0]
+        if remaining > 0:
+            me = lane.network_id
+            for dst in range(sim.config.total_lanes):
+                if dst == me:
+                    continue
+                sim.send(
+                    MessageRecord(
+                        dst, NEW_THREAD, record.label, (remaining - 1,),
+                        src_network_id=me,
+                    ),
+                    start + 2.0,
+                    src_node=sim.config.node_of(me),
+                )
+        return 2.0
+
+    return dispatch
+
+
+class TestSpillParity:
+    """Ring capacity is a perf knob, never a correctness one: with the
+    rings shrunk to a couple of frames, the bulk of the boundary traffic
+    takes the pickled-Pipe spill path — and the fingerprint must not
+    move."""
+
+    @pytest.fixture()
+    def tiny_rings(self, monkeypatch):
+        from repro.machine import parallel as par
+
+        orig = par._RingHub.__init__
+
+        def tiny(self, shards, capacity, ctx):
+            orig(self, shards, min(capacity, 128), ctx)
+
+        monkeypatch.setattr(par._RingHub, "__init__", tiny)
+
+    def _spray_run(self, parallel, hops=3):
+        sim = Simulator(
+            bench_machine(nodes=4),
+            dispatcher=spray_dispatcher(),
+            shards=4 if parallel else 1,
+            parallel=parallel,
+        )
+        for i in range(sim.config.total_lanes):
+            sim.inject(
+                MessageRecord(i, NEW_THREAD, f"spray{i}", (hops,)), t=0.0
+            )
+        sim.run()
+        fp = sim.stats.scalar_snapshot()
+        metrics = sim.parallel_metrics()
+        sim.shutdown()
+        return fp, metrics
+
+    def test_overflow_spill_path_is_bit_exact(self, tiny_rings):
+        par_fp, metrics = self._spray_run(parallel=True)
+        assert metrics["ring_overflows"] > 0  # the spill path really ran
+        assert metrics["spill_phases"] > 0
+        seq_fp, _ = self._spray_run(parallel=False)
+        assert par_fp == seq_fp
+
+    def test_roomy_rings_never_overflow(self):
+        par_fp, metrics = self._spray_run(parallel=True)
+        assert metrics["ring_overflows"] == 0
+        assert metrics["boundary_bytes"] > 0
+        assert metrics["boundary_records"] > 0
+        seq_fp, _ = self._spray_run(parallel=False)
+        assert par_fp == seq_fp

@@ -419,3 +419,93 @@ class TestWorkerFailure:
         from repro.machine.parallel import ShardWorkerFailed
 
         assert exported is ShardWorkerFailed
+
+    def test_dead_worker_stderr_tail_reaches_the_exception(self):
+        from repro.machine.parallel import ShardWorkerFailed
+
+        def dispatch(sim, lane, record, start):
+            if record.label == "die":
+                import os
+                import sys
+
+                sys.stderr.write("scratchpad checksum mismatch @ lane 2\n")
+                sys.stderr.flush()
+                os._exit(13)
+            return 2.0
+
+        sim = Simulator(
+            bench_machine(nodes=2),
+            dispatcher=dispatch,
+            shards=2,
+            parallel=True,
+        )
+        sim.inject(
+            MessageRecord(sim.config.lanes_per_node, NEW_THREAD, "die"), t=0.0
+        )
+        with pytest.raises(ShardWorkerFailed) as info:
+            sim.run()
+        # the worker's dying words (captured stderr tail) are in both the
+        # structured attribute and the rendered message
+        assert "scratchpad checksum mismatch" in info.value.stderr_tail
+        assert "scratchpad checksum mismatch" in str(info.value)
+        sim.shutdown()
+
+
+class TestShutdownIdempotence:
+    """Teardown must be safe to repeat — ``shutdown()`` after a worker
+    failure, a second ``shutdown()``, and the GC ``__del__`` path all hit
+    the same executor, and none may raise on already-closed pipes."""
+
+    def test_double_shutdown_is_a_noop(self):
+        sim = Simulator(
+            bench_machine(nodes=2),
+            dispatcher=null_dispatcher(),
+            shards=2,
+            parallel=True,
+        )
+        sim.inject(MessageRecord(0, NEW_THREAD, "a"), t=0.0)
+        sim.run()
+        sim.shutdown()
+        sim.shutdown()  # second call finds nothing left to do
+
+    def test_shutdown_after_worker_failure_does_not_raise(self):
+        import os
+
+        from repro.machine.parallel import ShardWorkerFailed
+
+        def dispatch(sim, lane, record, start):
+            if record.label == "die":
+                os._exit(13)
+            return 2.0
+
+        sim = Simulator(
+            bench_machine(nodes=2),
+            dispatcher=dispatch,
+            shards=2,
+            parallel=True,
+        )
+        sim.inject(MessageRecord(0, NEW_THREAD, "die"), t=0.0)
+        with pytest.raises(ShardWorkerFailed):
+            sim.run()
+        # the failure path already aborted the pool; both explicit
+        # shutdown and the destructor must cope with the dead state
+        sim.shutdown()
+        sim.shutdown()
+        sim._scheduler.__del__()
+
+    def test_close_before_any_drain_keeps_executor_usable(self):
+        # close() on a never-forked pool must not brick it: nothing has
+        # run in a worker yet, so no state is lost
+        sim = Simulator(
+            bench_machine(nodes=2),
+            dispatcher=null_dispatcher(),
+            shards=2,
+            parallel=True,
+        )
+        sim._scheduler = __import__(
+            "repro.machine.parallel", fromlist=["make_scheduler"]
+        ).make_scheduler(sim)
+        sim._scheduler.close()
+        sim.inject(MessageRecord(0, NEW_THREAD, "a"), t=0.0)
+        assert sim.run().events_executed >= 1
+        sim.shutdown()
